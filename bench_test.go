@@ -1,0 +1,132 @@
+// Benchmarks regenerating every experiment of the reproduction (one per
+// table/figure/claim; see DESIGN.md §3 for the index). Each benchmark
+// reruns its experiment's full simulation per iteration, so ns/op is the
+// host cost of regenerating that experiment, and the table itself is
+// printed once under -v via b.Log.
+//
+// Run them all:
+//
+//	go test -bench=. -benchmem
+package ecoscale_test
+
+import (
+	"testing"
+
+	"ecoscale"
+	"ecoscale/internal/experiments"
+	"ecoscale/internal/hls"
+	"ecoscale/internal/sim"
+	"ecoscale/internal/trace"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, err := experiments.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var tbl *trace.Table
+	for i := 0; i < b.N; i++ {
+		tbl, err = e.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if tbl != nil {
+		b.Log("\n" + tbl.String())
+	}
+}
+
+func BenchmarkE1Partitioning(b *testing.B)   { benchExperiment(b, "E1") }
+func BenchmarkE2Concurrency(b *testing.B)    { benchExperiment(b, "E2") }
+func BenchmarkE3Coherence(b *testing.B)      { benchExperiment(b, "E3") }
+func BenchmarkE4SmallTransfers(b *testing.B) { benchExperiment(b, "E4") }
+func BenchmarkE5RemoteAccel(b *testing.B)    { benchExperiment(b, "E5") }
+func BenchmarkE6Sharing(b *testing.B)        { benchExperiment(b, "E6") }
+func BenchmarkE7Pipelining(b *testing.B)     { benchExperiment(b, "E7") }
+func BenchmarkE8Compression(b *testing.B)    { benchExperiment(b, "E8") }
+func BenchmarkE9Defrag(b *testing.B)         { benchExperiment(b, "E9") }
+func BenchmarkE10Dispatch(b *testing.B)      { benchExperiment(b, "E10") }
+func BenchmarkE11LazySched(b *testing.B)     { benchExperiment(b, "E11") }
+func BenchmarkE12Chaining(b *testing.B)      { benchExperiment(b, "E12") }
+func BenchmarkE13Exascale(b *testing.B)      { benchExperiment(b, "E13") }
+func BenchmarkE14EndToEnd(b *testing.B)      { benchExperiment(b, "E14") }
+func BenchmarkE15HLSDSE(b *testing.B)        { benchExperiment(b, "E15") }
+
+// Substrate micro-benchmarks: host-side cost of the building blocks.
+
+func BenchmarkSimEngineEvents(b *testing.B) {
+	eng := sim.NewEngine(1)
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < b.N {
+			eng.After(1, tick)
+		}
+	}
+	b.ResetTimer()
+	eng.At(0, tick)
+	eng.RunUntilIdle()
+}
+
+func BenchmarkMachineBuild(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m := ecoscale.New(ecoscale.DefaultConfig(8, 4))
+		if m.Workers() != 32 {
+			b.Fatal("bad machine")
+		}
+	}
+}
+
+func BenchmarkHLSSynthesizeMatMul(b *testing.B) {
+	w, err := ecoscale.KernelByName("matmul")
+	if err != nil {
+		b.Fatal(err)
+	}
+	k := w.Kernel()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := hls.Synthesize(k, w.DefaultDir); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKernelInterpreterVecAdd(b *testing.B) {
+	w, err := ecoscale.KernelByName("vecadd")
+	if err != nil {
+		b.Fatal(err)
+	}
+	k := w.Kernel()
+	rng := sim.NewRNG(1)
+	args, _ := w.Make(1024, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := hls.Run(k, args); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDeployKernel(b *testing.B) {
+	w, err := ecoscale.KernelByName("vecadd")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		m := ecoscale.New(ecoscale.DefaultConfig(2, 1))
+		if _, err := m.DeployKernel(w.Source, w.DefaultDir, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkA1StreamWindow(b *testing.B) { benchExperiment(b, "A1") }
+func BenchmarkA2AccelCaching(b *testing.B) { benchExperiment(b, "A2") }
+func BenchmarkA3TreeShape(b *testing.B)    { benchExperiment(b, "A3") }
+func BenchmarkA4PageSize(b *testing.B)     { benchExperiment(b, "A4") }
+
+func BenchmarkE16Irregular(b *testing.B) { benchExperiment(b, "E16") }
+
+func BenchmarkA5LinkCapacity(b *testing.B) { benchExperiment(b, "A5") }

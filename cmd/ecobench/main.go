@@ -1,0 +1,55 @@
+// Command ecobench regenerates every experiment table of the ECOSCALE
+// reproduction (E1–E15; see DESIGN.md for the index and EXPERIMENTS.md
+// for paper-claim vs measured).
+//
+// Usage:
+//
+//	ecobench            # run everything
+//	ecobench -run E3    # one experiment
+//	ecobench -csv       # CSV instead of aligned text
+//	ecobench -list      # list experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"ecoscale/internal/experiments"
+)
+
+func main() {
+	run := flag.String("run", "", "run only this experiment id (e.g. E3)")
+	csv := flag.Bool("csv", false, "emit CSV")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	reg := experiments.Registry()
+	if *list {
+		for _, e := range reg {
+			fmt.Printf("%-4s %-45s (%s)\n", e.ID, e.Title, e.Source)
+		}
+		return
+	}
+	if *run != "" {
+		e, err := experiments.ByID(*run)
+		if err != nil {
+			log.Fatal(err)
+		}
+		reg = []experiments.Experiment{e}
+	}
+	for _, e := range reg {
+		fmt.Printf("### %s — %s (%s)\n", e.ID, e.Title, e.Source)
+		tbl, err := e.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		if *csv {
+			fmt.Print(tbl.CSV())
+		} else {
+			fmt.Println(tbl)
+		}
+	}
+}

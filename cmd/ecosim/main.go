@@ -1,0 +1,148 @@
+// Command ecosim builds an ECOSCALE machine and runs a workload stream
+// on it, printing the machine report — the quickest way to poke at the
+// architecture's knobs (tree shape, sharing policy, balancing strategy,
+// dispatch policy, virtualization, bitstream compression).
+//
+// Usage:
+//
+//	ecosim -workers 8 -nodes 4 -kernel matmul -tasks 64 -policy model
+//	ecosim -kernel montecarlo -tasks 200 -n 8192 -sharing private
+//	ecosim -balance polling -skew    # imbalanced arrival
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"ecoscale"
+	"ecoscale/internal/accel"
+	"ecoscale/internal/hls"
+	"ecoscale/internal/rts"
+	"ecoscale/internal/sim"
+	"ecoscale/internal/workload"
+)
+
+func main() {
+	workers := flag.Int("workers", 4, "workers per compute node")
+	nodes := flag.Int("nodes", 2, "compute nodes")
+	kernelName := flag.String("kernel", "vecadd", "workload kernel")
+	tasks := flag.Int("tasks", 32, "number of task invocations")
+	nSize := flag.Int("n", 1024, "problem size per task")
+	policy := flag.String("policy", "model", "dispatch policy: sw|hw|model|oracle")
+	sharing := flag.String("sharing", "shared", "accelerator sharing: shared|shared-cn|private")
+	balance := flag.String("balance", "lazy", "work stealing: none|polling|lazy")
+	skew := flag.Bool("skew", false, "submit all tasks at worker 0")
+	unroll := flag.Int("unroll", 8, "HLS unroll for the deployed engine")
+	ports := flag.Int("ports", 8, "HLS memory ports for the deployed engine")
+	compress := flag.Bool("compress", true, "compressed bitstream loading")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	flowTrace := flag.Bool("flowtrace", false, "print the Fig. 5 layer-interaction trace (first 40 events)")
+	diagram := flag.Bool("diagram", false, "print Worker 0's Fig. 4 block diagram before running")
+	flag.Parse()
+
+	w, err := workload.ByName(*kernelName)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := ecoscale.DefaultConfig(*workers, *nodes)
+	cfg.Seed = *seed
+	cfg.CompressedBitstreams = *compress
+	cfg.FlowTrace = *flowTrace
+	switch *sharing {
+	case "shared":
+		cfg.Sharing = ecoscale.Shared
+	case "shared-cn":
+		cfg.Sharing = ecoscale.SharedCN
+	case "private":
+		cfg.Sharing = ecoscale.Private
+	default:
+		log.Fatalf("unknown sharing %q", *sharing)
+	}
+	switch *balance {
+	case "none":
+		cfg.Balance = ecoscale.NoBalance
+	case "polling":
+		cfg.Balance = ecoscale.Polling
+	case "lazy":
+		cfg.Balance = ecoscale.Lazy
+	default:
+		log.Fatalf("unknown balance %q", *balance)
+	}
+	m := ecoscale.New(cfg)
+	if *diagram {
+		fmt.Println(m.WorkerDiagram(0))
+	}
+
+	var pol rts.Policy
+	switch *policy {
+	case "sw":
+		pol = ecoscale.PolicyCPU
+	case "hw":
+		pol = ecoscale.PolicyHW
+	case "model":
+		pol = ecoscale.PolicyModel
+	case "oracle":
+		pol = ecoscale.PolicyOracle
+	default:
+		log.Fatalf("unknown policy %q", *policy)
+	}
+	for _, s := range m.Scheds {
+		s.Policy = pol
+	}
+
+	if _, err := m.DeployKernel(w.Source,
+		ecoscale.Directives{Unroll: *unroll, MemPorts: *ports, Share: 1, Pipeline: true}, 0); err != nil {
+		log.Fatal(err)
+	}
+	deployT := m.Eng.Now()
+	fmt.Printf("deployed %s engine (reconfiguration took %v)\n", w.Name, deployT)
+
+	// Reference software run for the op mix.
+	rng := sim.NewRNG(*seed)
+	args, bindings := w.Make(*nSize, rng)
+	stats, err := hls.Run(w.Kernel(), args)
+	if err != nil {
+		log.Fatal(err)
+	}
+	buf := m.Space.Alloc(0, *nSize*8)
+	out := m.Space.Alloc(0, 4096)
+
+	done := 0
+	start := m.Eng.Now()
+	for i := 0; i < *tasks; i++ {
+		target := i % m.Workers()
+		if *skew {
+			target = 0
+		}
+		m.Cluster.Submit(target, &rts.Task{
+			Kernel:   w.Name,
+			Bindings: bindings,
+			Reads:    []accel.Span{{Addr: buf, Size: *nSize * 8}},
+			Writes:   []accel.Span{{Addr: out, Size: 64}},
+			SWStats:  stats,
+		}, func(rts.Device, error) { done++ })
+	}
+	end := m.Run()
+	if done != *tasks {
+		log.Fatalf("lost tasks: %d of %d", done, *tasks)
+	}
+	fmt.Printf("%d tasks of %s(N=%d) finished in %v (policy=%s sharing=%s balance=%s)\n\n",
+		*tasks, w.Name, *nSize, end-start, *policy, *sharing, *balance)
+	fmt.Println(m.Report())
+	if m.Cluster.Steals > 0 {
+		fmt.Printf("work stealing: %d steals, %d monitor msgs\n", m.Cluster.Steals, m.Cluster.StealMsgs)
+	}
+	if *flowTrace && m.Flow != nil {
+		evs := m.Flow.Events()
+		if len(evs) > 40 {
+			evs = evs[:40]
+		}
+		fmt.Println()
+		fmt.Println("== layer interaction flow (Fig. 5), first events ==")
+		for _, e := range evs {
+			fmt.Printf("%12.3fus  %-12s %s\n", float64(e.AtPs)/1e6, e.Layer, e.Event)
+		}
+	}
+}

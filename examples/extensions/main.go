@@ -1,0 +1,151 @@
+// Command extensions demonstrates the paper's announced-but-future
+// mechanisms that this reproduction also implements: read-only page
+// replication (§4.4), pre-emptive hardware execution with context
+// save/restore and cross-Worker resume (§4.3), and energy-aware
+// dispatch from history-trained time+energy models (§4.2).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ecoscale"
+	"ecoscale/internal/accel"
+	"ecoscale/internal/hls"
+	"ecoscale/internal/rts"
+	"ecoscale/internal/sim"
+)
+
+func main() {
+	replicationDemo()
+	preemptionDemo()
+	edpDemo()
+}
+
+// replicationDemo: a lookup table read by every Worker — replicate it
+// and watch the read latency collapse.
+func replicationDemo() {
+	fmt.Println("== §4.4 read-only replication: 4 KiB lookup table read by worker 7 ==")
+	m := ecoscale.New(ecoscale.DefaultConfig(8, 1))
+	table := m.Space.Alloc(0, 4096)
+
+	measure := func() sim.Time {
+		start := m.Eng.Now()
+		var end sim.Time
+		m.Space.ReplicatedRead(7, table, 64, func([]byte) { end = m.Eng.Now() - start })
+		m.Run()
+		return end
+	}
+	before := measure()
+	m.Space.Replicate(table, 7, nil)
+	m.Run()
+	after := measure()
+	fmt.Printf("before replication: %v   after: %v   (%.0fx)\n", before, after,
+		float64(before)/float64(after))
+	// A write tears the replica down; the next read is remote again.
+	m.Space.ReplicatedWrite(0, table, []byte{1}, nil)
+	m.Run()
+	fmt.Printf("replicas after a write: %d (writer-pays invalidation)\n\n", m.Space.Replicas(table))
+}
+
+// preemptionDemo: a low-priority module is preempted mid-queue to make
+// room, then resumed on another Worker with its pending calls replayed.
+func preemptionDemo() {
+	fmt.Println("== §4.3 pre-emptive hardware execution ==")
+	m := ecoscale.New(ecoscale.DefaultConfig(2, 1))
+	w, _ := ecoscale.KernelByName("reduce")
+	inst, err := m.DeployKernel(w.Source, w.DefaultDir, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	addr := m.Space.Alloc(0, 65536)
+	completed := 0
+	call := func() {
+		inst.Invoke(0, accel.CallSpec{
+			Bindings: map[string]float64{"N": 2048},
+			Reads:    []accel.Span{{Addr: addr, Size: 2048 * 8}},
+		}, func(err error) {
+			if err != nil {
+				log.Fatal(err)
+			}
+			completed++
+		})
+	}
+	call()
+	var ctx *accel.SavedContext
+	m.Domain.Manager(0).Preempt(inst.Placement.Module.Name, func(c *accel.SavedContext, err error) {
+		if err != nil {
+			log.Fatal(err)
+		}
+		ctx = c
+	})
+	m.Run()
+	fmt.Printf("preempted after draining the in-flight call (completed=%d); checkpoint %d bytes\n",
+		completed, ctx.StateBytes)
+	// Calls issued while suspended park in the context.
+	call()
+	call()
+	fmt.Printf("two calls parked in the saved context: pending=%d\n", ctx.Pending())
+	// Resume on worker 1 — preemption composes with migration.
+	m.Domain.Manager(1).Resume(ctx, func(in2 *accel.Instance, err error) {
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("resumed on worker %d; replaying deferred calls\n", in2.Worker)
+	})
+	m.Run()
+	fmt.Printf("all calls completed: %d/3\n\n", completed)
+}
+
+// edpDemo: the energy-delay-product policy learns to send big calls to
+// the FPGA (lower energy/op) and keep small ones on the CPU.
+func edpDemo() {
+	fmt.Println("== §4.2 energy-aware dispatch (energy-delay product) ==")
+	w, _ := ecoscale.KernelByName("cartsplit")
+	kernel := w.Kernel()
+	run := func(policy rts.Policy) (sim.Time, float64, uint64, uint64) {
+		m := ecoscale.New(ecoscale.DefaultConfig(2, 1))
+		if _, err := m.DeployKernel(w.Source,
+			ecoscale.Directives{Unroll: 16, MemPorts: 16, Share: 1, Pipeline: true}, 0); err != nil {
+			log.Fatal(err)
+		}
+		s := m.Scheds[0]
+		s.Policy = policy
+		rng := sim.NewRNG(4)
+		x := m.Space.Alloc(0, 65536*8)
+		out := m.Space.Alloc(0, 4096)
+		start := m.Eng.Now()
+		i := 0
+		var submit func()
+		submit = func() {
+			if i >= 24 {
+				return
+			}
+			// Three sizes, co-prime with the explorer's device
+			// alternation, so both devices sample both regimes.
+			n := []int{128, 49152, 24576}[i%3]
+			i++
+			args, bindings := w.Make(n, rng)
+			stats, err := hls.Run(kernel, args)
+			if err != nil {
+				log.Fatal(err)
+			}
+			s.Submit(&rts.Task{
+				Kernel: "cartsplit", Bindings: bindings,
+				Reads:   []accel.Span{{Addr: x, Size: n * 8}},
+				Writes:  []accel.Span{{Addr: out, Size: 24}},
+				SWStats: stats,
+			}, func(rts.Device, error) { submit() })
+		}
+		submit()
+		end := m.Run() - start
+		dynamic := float64(m.Meter.Category("cpu") + m.Meter.Category("fpga"))
+		return end, dynamic, s.Executed(rts.DeviceCPU), s.Executed(rts.DeviceHW)
+	}
+	for _, p := range []rts.Policy{rts.PolicyCPU{}, rts.PolicyEDP{}} {
+		t, e, cpu, hw := run(p)
+		fmt.Printf("%-10s makespan %-12v dynamic energy %8.1fuJ  cpu=%d hw=%d\n",
+			p.Name(), t, e*1e6, cpu, hw)
+	}
+	fmt.Println("(edp explores, then routes the large splits to the lower-energy datapath)")
+}

@@ -1,0 +1,80 @@
+// Command quickstart is the smallest end-to-end ECOSCALE program: build
+// a machine, compile a kernel with the HLS flow, deploy it to a Worker's
+// reconfigurable block, run it through the OpenCL-style host API on both
+// the CPU and the hardware path, and print the timing and the machine
+// report.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ecoscale"
+	"ecoscale/internal/ocl"
+	"ecoscale/internal/rts"
+	"ecoscale/internal/sim"
+)
+
+const src = `
+kernel saxpy(global float* X, global float* Y, int N, float a) {
+    for (i = 0; i < N; i++) {
+        Y[i] = a * X[i] + Y[i];
+    }
+}`
+
+func main() {
+	// A small machine: 4 Workers per Compute Node, 2 Compute Nodes.
+	m := ecoscale.New(ecoscale.DefaultConfig(4, 2))
+	fmt.Println(m.Tree.String())
+
+	ctx := ecoscale.NewPlatform(m).CreateContext()
+	prog, err := ctx.CreateProgram(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Synthesize with 4x unrolling and 8 memory ports, then load onto
+	// Worker 0's fabric (partial reconfiguration is simulated and
+	// costed).
+	if err := prog.Build(ecoscale.Directives{Unroll: 4, MemPorts: 8, Share: 1, Pipeline: true}); err != nil {
+		log.Fatal(err)
+	}
+	if err := prog.DeployTo("saxpy", 0); err != nil {
+		log.Fatal(err)
+	}
+	im := prog.Impls["saxpy"]
+	fmt.Printf("synthesized saxpy: II=%d depth=%d area=%v\n\n", im.II(), im.Depth(), im.Area)
+
+	const n = 8192
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = float64(i)
+		y[i] = 1
+	}
+
+	run := func(policy rts.Policy, label string) {
+		for _, s := range m.Scheds {
+			s.Policy = policy
+		}
+		bx := ctx.CreateBuffer(n, ocl.OnWorker, 0)
+		by := ctx.CreateBuffer(n, ocl.OnWorker, 0)
+		bx.Poke(x)
+		by.Poke(y)
+		start := m.Eng.Now()
+		ev := ctx.CreateQueue(0).EnqueueKernel(prog, "saxpy",
+			[]ocl.Arg{ocl.BufArg(bx), ocl.BufArg(by), ocl.ScalarArg(n), ocl.ScalarArg(2.0)}, nil)
+		if err := ctx.WaitAll(ev); err != nil {
+			log.Fatal(err)
+		}
+		out := by.Peek()
+		fmt.Printf("%-8s  time=%-12v  y[1]=%v y[%d]=%v\n",
+			label, m.Eng.Now()-start, out[1], n-1, out[n-1])
+	}
+	run(ecoscale.PolicyCPU, "cpu")
+	run(ecoscale.PolicyHW, "hw")
+
+	m.Eng.At(m.Eng.Now()+sim.Microsecond, func() {})
+	m.Run()
+	fmt.Println()
+	fmt.Println(m.Report())
+}

@@ -1,0 +1,88 @@
+// Command reconfig exercises the middleware of §4.3 directly: partial
+// reconfiguration of accelerator modules with and without configuration
+// compression, fragmentation of the reconfigurable fabric under module
+// churn, and defragmentation plus accelerator migration.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ecoscale/internal/energy"
+	"ecoscale/internal/fabric"
+	"ecoscale/internal/sim"
+	"ecoscale/internal/trace"
+)
+
+func main() {
+	eng := sim.NewEngine(1)
+	meter := energy.NewMeter(eng, energy.DefaultCostModel())
+	fab := fabric.New(eng, fabric.DefaultConfig(), meter)
+	fmt.Printf("fabric: %dx%d regions, %d KiB/region bitstream, %.1f MB/s config port\n\n",
+		fab.Config().Rows, fab.Config().Cols, fab.Config().BytesPerRegion/1024,
+		fab.Config().PortBytesPerNs*1000)
+
+	// E8: compression vs plain reconfiguration across module sizes.
+	tbl := trace.NewTable("E8: partial reconfiguration latency (configuration-data compression, ref [11])",
+		"module regions", "plain load", "compressed load", "ratio")
+	per := fab.Config().PerRegion
+	for _, regions := range []int{1, 2, 4, 8, 16} {
+		mod := fabric.Module{Name: fmt.Sprintf("mod%d", regions), Req: per.Scale(regions)}
+		p, err := fab.Place(mod)
+		if err != nil {
+			log.Fatal(err)
+		}
+		plain := fab.LoadLatency(p, fabric.LoadOptions{})
+		comp := fab.LoadLatency(p, fabric.LoadOptions{Compressed: true})
+		tbl.AddRow(regions, fmt.Sprint(plain), fmt.Sprint(comp), fmt.Sprintf("%.2fx", float64(plain)/float64(comp)))
+		fab.Remove(p)
+	}
+	fmt.Println(tbl)
+
+	// E9: churn → fragmentation → defragmentation.
+	rng := sim.NewRNG(42)
+	var live []*fabric.Placement
+	failures := 0
+	for i := 0; i < 400; i++ {
+		if len(live) > 0 && rng.Float64() < 0.45 {
+			k := rng.Intn(len(live))
+			fab.Remove(live[k])
+			live = append(live[:k], live[k+1:]...)
+			continue
+		}
+		mod := fabric.Module{
+			Name: fmt.Sprintf("churn%d", i),
+			Req:  per.Scale(1 + rng.Intn(6)),
+		}
+		p, err := fab.Place(mod)
+		if err != nil {
+			failures++
+			continue
+		}
+		live = append(live, p)
+	}
+	fmt.Printf("after 400 load/unload churn steps: %d modules live, utilization %.0f%%, %d placement failures\n",
+		len(live), 100*fab.Utilization(), failures)
+	fmt.Printf("largest free box before defrag: %d regions (of %d free)\n",
+		fab.LargestFreeBox(), fab.FreeRegions())
+	moved := fab.Defragment()
+	fmt.Printf("defragmentation moved %d modules; largest free box now: %d regions\n",
+		moved, fab.LargestFreeBox())
+
+	// Show that a big module now fits.
+	big := fabric.Module{Name: "big", Req: per.Scale(fab.LargestFreeBox())}
+	if p, err := fab.Place(big); err == nil {
+		fmt.Printf("placed %d-region module %s after defrag\n", p.Area(), p)
+	} else {
+		fmt.Printf("big module still does not fit: %v\n", err)
+	}
+
+	// Timed loads to show port serialization and energy.
+	p1, _ := fab.Place(fabric.Module{Name: "t1", Req: per.Scale(2)})
+	p2, _ := fab.Place(fabric.Module{Name: "t2", Req: per.Scale(2)})
+	fab.Load(p1, fabric.LoadOptions{Compressed: true}, nil)
+	fab.Load(p2, fabric.LoadOptions{Compressed: true}, nil)
+	eng.RunUntilIdle()
+	fmt.Printf("\ntwo compressed loads through one port finished at t=%v\n", eng.Now())
+	fmt.Printf("reconfiguration energy so far: %v\n", meter.Category("reconfig"))
+}

@@ -1,0 +1,148 @@
+// Command stencil reproduces the Fig. 1 story: a 2D stencil domain is
+// partitioned hierarchically to match the machine tree, and the halo
+// exchange runs over the MPI layer on the simulated interconnect. It
+// compares flat strips, topology-blind 2D tiles, and the hierarchical
+// partitioner on traffic-distance, then runs real Jacobi iterations with
+// halo exchange on an MPI Cartesian topology.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ecoscale"
+	"ecoscale/internal/mpi"
+	"ecoscale/internal/part"
+	"ecoscale/internal/sim"
+	"ecoscale/internal/trace"
+)
+
+func main() {
+	m := ecoscale.New(ecoscale.DefaultConfig(4, 4)) // 16 workers
+	fmt.Println(m.Tree.String())
+
+	const grid = 128
+	tbl := trace.NewTable("partitioning of a 128x128 stencil domain across 16 workers (Fig. 1 / E1)",
+		"strategy", "boundary cells", "weighted hops", "mean hops", "max hops", "balance")
+	for _, p := range []*part.Partition{
+		part.Strips(grid, grid, m.Workers()),
+		part.Tiles(grid, grid, m.Workers()),
+		part.Hierarchical(grid, grid, m.Tree),
+	} {
+		s := p.Evaluate(m.Tree)
+		tbl.AddRow(p.Name, s.BoundaryCells, s.WeightedHops,
+			fmt.Sprintf("%.2f", s.MeanHops()), s.MaxHops, fmt.Sprintf("%.2f", s.Balance))
+	}
+	fmt.Println(tbl)
+
+	// Now run 5 Jacobi iterations with halo exchange on a 4x4 Cartesian
+	// communicator whose rank order follows the hierarchical partition.
+	comm := mpi.WorldComm(m.Net)
+	cart := mpi.NewCart(comm, []int{4, 4}, nil)
+	local := grid / 4 // 32x32 block per rank
+
+	// Each rank's block, with a one-cell halo ring.
+	blocks := make([][][]float64, comm.Size())
+	for r := range blocks {
+		b := make([][]float64, local+2)
+		for i := range b {
+			b[i] = make([]float64, local+2)
+		}
+		co := cart.Coords(r)
+		// Heat source in the domain corner block.
+		if co[0] == 0 && co[1] == 0 {
+			b[1][1] = 1000
+		}
+		blocks[r] = b
+	}
+
+	iter := 0
+	var step func()
+	step = func() {
+		if iter == 5 {
+			return
+		}
+		iter++
+		// Halo exchange along both dimensions.
+		wg := sim.NewWaitGroup(m.Eng, 0)
+		exchanges := 0
+		for r := 0; r < comm.Size(); r++ {
+			for dim := 0; dim < 2; dim++ {
+				_, dst := cart.Shift(r, dim, 1)
+				if dst < 0 {
+					continue
+				}
+				exchanges++
+			}
+		}
+		wg.Add(exchanges)
+		for r := 0; r < comm.Size(); r++ {
+			for dim := 0; dim < 2; dim++ {
+				r, dim := r, dim
+				_, dst := cart.Shift(r, dim, 1)
+				if dst < 0 {
+					continue
+				}
+				// Exchange the facing edges (values + timing).
+				edgeOut := make([]float64, local)
+				edgeBack := make([]float64, local)
+				for i := 0; i < local; i++ {
+					if dim == 0 {
+						edgeOut[i] = blocks[r][local][i+1]
+						edgeBack[i] = blocks[dst][1][i+1]
+					} else {
+						edgeOut[i] = blocks[r][i+1][local]
+						edgeBack[i] = blocks[dst][i+1][1]
+					}
+				}
+				comm.SendRecv(r, dst, 10*dim+1, edgeOut, edgeBack, func(atR, atDst mpi.Message) {
+					for i := 0; i < local; i++ {
+						if dim == 0 {
+							blocks[r][local+1][i+1] = atR.Data[i]
+							blocks[dst][0][i+1] = atDst.Data[i]
+						} else {
+							blocks[r][i+1][local+1] = atR.Data[i]
+							blocks[dst][i+1][0] = atDst.Data[i]
+						}
+					}
+					wg.DoneOne()
+				})
+			}
+		}
+		wg.Wait(func() {
+			// Local Jacobi sweep on every rank (data plane; compute
+			// time is not the point of this example).
+			for r := range blocks {
+				b := blocks[r]
+				next := make([][]float64, local+2)
+				for i := range next {
+					next[i] = append([]float64(nil), b[i]...)
+				}
+				for i := 1; i <= local; i++ {
+					for j := 1; j <= local; j++ {
+						next[i][j] = 0.25 * (b[i-1][j] + b[i+1][j] + b[i][j-1] + b[i][j+1])
+					}
+				}
+				blocks[r] = next
+			}
+			fmt.Printf("iteration %d done at t=%v (MPI msgs so far: %d)\n", iter, m.Eng.Now(), comm.Sends())
+			step()
+		})
+	}
+	step()
+	m.Run()
+
+	var total float64
+	for _, b := range blocks {
+		for _, row := range b[1 : local+1] {
+			for _, v := range row[1 : local+1] {
+				total += v
+			}
+		}
+	}
+	fmt.Printf("\nheat conserved in interior: %.2f (diffusing from 1000)\n", total)
+	if total <= 0 {
+		log.Fatal("stencil produced no diffusion")
+	}
+	fmt.Printf("total MPI traffic: %d messages, %d bytes\n", comm.Sends(), comm.Bytes())
+}

@@ -1,0 +1,3 @@
+module ecoscale
+
+go 1.22

@@ -1,0 +1,98 @@
+package accel
+
+import (
+	"fmt"
+
+	"ecoscale/internal/sim"
+)
+
+// Pre-emptive hardware execution (§4.3: the middleware's low-level
+// driver adds "virtualization features, such as defragmenting the
+// reconfigurable resources, accelerator migration, and pre-emptive
+// hardware execution").
+//
+// Preemption is modelled at call granularity, which is how real partial-
+// reconfiguration preemption works in practice: the instance stops
+// admitting new calls, the pipeline drains to an architectural
+// checkpoint, the (small) architectural state is saved, and the fabric
+// region is released. Calls that arrived while suspended are carried in
+// the saved context and replayed transparently on Resume — possibly on a
+// different Worker, which composes preemption with migration.
+
+// deferredCall is an invocation parked while its instance is suspended.
+type deferredCall struct {
+	caller int
+	spec   CallSpec
+	done   func(error)
+}
+
+// SavedContext is a preempted accelerator: its implementation, its
+// checkpointed architectural state size, and (via the suspended
+// instance) the calls awaiting replay — including ones that arrive
+// after the checkpoint completes.
+type SavedContext struct {
+	Instance   *Instance // original (now unloaded) instance
+	StateBytes int
+}
+
+// Pending returns how many calls wait for replay.
+func (c *SavedContext) Pending() int { return len(c.Instance.deferred) }
+
+// stateBytes estimates the architectural checkpoint: pipeline registers
+// (depth × datapath width) plus a fixed control block.
+func stateBytes(in *Instance) int {
+	return 256 + in.Impl.Depth()*64
+}
+
+// Preempt suspends the named module: in-flight calls drain, the context
+// is checkpointed (timed against the configuration port, like a
+// readback), the region is freed, and the context — including any calls
+// that arrived during the drain — is handed to done. Returns an error
+// via done if the module is absent.
+func (m *Manager) Preempt(name string, done func(*SavedContext, error)) {
+	in, ok := m.instances[name]
+	if !ok || !in.loaded {
+		done(nil, fmt.Errorf("accel: no loaded module %q to preempt", name))
+		return
+	}
+	in.suspended = true
+	finish := func() {
+		ctx := &SavedContext{Instance: in, StateBytes: stateBytes(in)}
+		// Checkpoint readback through the configuration port.
+		saveT := sim.Time(float64(ctx.StateBytes) / m.Fab.Config().PortBytesPerNs * float64(sim.Nanosecond))
+		m.eng.After(saveT, func() {
+			m.unload(in)
+			done(ctx, nil)
+		})
+	}
+	if !in.Busy() {
+		finish()
+		return
+	}
+	in.onDrain = finish
+}
+
+// Resume restores a preempted context onto this manager's fabric: the
+// module is re-placed and reconfigured, the checkpoint is written back,
+// every deferred call replays in arrival order, and the old instance
+// forwards any straggler invocations to the new one. done receives the
+// live instance.
+func (m *Manager) Resume(ctx *SavedContext, done func(*Instance, error)) {
+	old := ctx.Instance
+	m.Ensure(old.Impl, func(in *Instance, err error) {
+		if err != nil {
+			done(nil, err)
+			return
+		}
+		restoreT := sim.Time(float64(ctx.StateBytes) / m.Fab.Config().PortBytesPerNs * float64(sim.Nanosecond))
+		m.eng.After(restoreT, func() {
+			deferred := old.deferred
+			old.deferred = nil
+			old.forwardTo = in
+			for _, d := range deferred {
+				in.Invoke(d.caller, d.spec, d.done)
+			}
+			done(in, nil)
+		})
+	})
+}

@@ -1,0 +1,253 @@
+// Package core assembles the ECOSCALE substrates into a whole machine —
+// the hierarchical UNILOGIC+UNIMEM architecture of Fig. 3: Workers with
+// CPU, cache, DRAM, dual-stage SMMU and a reconfigurable block, grouped
+// into Compute Nodes (PGAS domains) joined by a multi-layer interconnect,
+// with one runtime scheduler per Worker, a shared-accelerator domain, a
+// work-stealing cluster and a reconfiguration daemon on top.
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"ecoscale/internal/accel"
+	"ecoscale/internal/energy"
+	"ecoscale/internal/fabric"
+	"ecoscale/internal/hls"
+	"ecoscale/internal/mpi"
+	"ecoscale/internal/noc"
+	"ecoscale/internal/rts"
+	"ecoscale/internal/sim"
+	"ecoscale/internal/smmu"
+	"ecoscale/internal/topo"
+	"ecoscale/internal/trace"
+	"ecoscale/internal/unilogic"
+	"ecoscale/internal/unimem"
+)
+
+// Config describes a machine to build. The zero value is not valid; use
+// DefaultConfig and override.
+type Config struct {
+	// Seed drives all randomized behaviour deterministically.
+	Seed int64
+	// FanOut is the machine tree, leaf upward: FanOut[0] Workers per
+	// Compute Node, then Compute Nodes per chassis, and so on.
+	FanOut []int
+	// Cost is the energy cost model.
+	Cost energy.CostModel
+	// Unimem shapes the PGAS (page size, caches, DRAM).
+	Unimem unimem.Config
+	// Fabric shapes each Worker's reconfigurable block.
+	Fabric fabric.Config
+	// SMMU shapes each Worker's IOMMU.
+	SMMU smmu.Config
+	// Balance selects the work-stealing strategy.
+	Balance rts.BalanceKind
+	// Sharing selects UNILOGIC shared or private accelerator policy.
+	Sharing unilogic.Policy
+	// Virtualize enables the fine-grain pipelined-sharing block.
+	Virtualize bool
+	// CompressedBitstreams enables RLE-compressed reconfiguration.
+	CompressedBitstreams bool
+	// MappedBytes is how much of the address space each accelerator
+	// stream is identity-mapped for (user-level access window).
+	MappedBytes int
+	// FlowTrace enables the Fig. 5 layer-interaction log (Machine.Flow).
+	FlowTrace bool
+}
+
+// DefaultConfig returns a 2-level machine: workersPerCN Workers in each
+// of computeNodes Compute Nodes.
+func DefaultConfig(workersPerCN, computeNodes int) Config {
+	return Config{
+		Seed:        1,
+		FanOut:      []int{workersPerCN, computeNodes},
+		Cost:        energy.DefaultCostModel(),
+		Unimem:      unimem.DefaultConfig(),
+		Fabric:      fabric.DefaultConfig(),
+		SMMU:        smmu.DefaultConfig(),
+		Balance:     rts.Lazy,
+		Sharing:     unilogic.Shared,
+		Virtualize:  true,
+		MappedBytes: 16 << 20,
+	}
+}
+
+// Machine is a built ECOSCALE system.
+type Machine struct {
+	Cfg      Config
+	Eng      *sim.Engine
+	Tree     *topo.Tree
+	Net      *noc.Network
+	Space    *unimem.Space
+	Meter    *energy.Meter
+	Reg      *trace.Registry
+	Managers []*accel.Manager
+	Domain   *unilogic.Domain
+	Scheds   []*rts.Scheduler
+	Cluster  *rts.Cluster
+	Daemon   *rts.Daemon
+	Comm     *mpi.Comm
+	Flow     *trace.FlowLog
+}
+
+// New builds a machine from the configuration.
+func New(cfg Config) *Machine {
+	if len(cfg.FanOut) == 0 {
+		panic("core: config needs a tree shape")
+	}
+	if cfg.MappedBytes <= 0 {
+		cfg.MappedBytes = 16 << 20
+	}
+	m := &Machine{Cfg: cfg}
+	m.Eng = sim.NewEngine(cfg.Seed)
+	m.Tree = topo.NewTree(cfg.FanOut...)
+	m.Reg = trace.NewRegistry()
+	m.Meter = energy.NewMeter(m.Eng, cfg.Cost)
+	m.Net = noc.NewNetwork(m.Eng, m.Tree, noc.DefaultConfig(m.Tree.MaxHops()), m.Meter, m.Reg)
+	m.Space = unimem.NewSpace(m.Net, cfg.Unimem, m.Reg)
+
+	workers := m.Tree.NumWorkers()
+	for w := 0; w < workers; w++ {
+		fab := fabric.New(m.Eng, cfg.Fabric, m.Meter)
+		mmu := smmu.New(cfg.SMMU)
+		mgr := accel.NewManager(w, fab, m.Space, mmu, m.Meter)
+		mgr.Virtualize = cfg.Virtualize
+		mgr.Compressed = cfg.CompressedBitstreams
+		m.identityMap(mmu, w)
+		m.Managers = append(m.Managers, mgr)
+		// Static power for the Worker's components.
+		m.Meter.AddStatic("static.cpu", cfg.Cost.CPUStatic)
+		m.Meter.AddStatic("static.dram", cfg.Cost.DRAMStatic)
+		m.Meter.AddStatic("static.fpga", cfg.Cost.FPGAStatic)
+	}
+	if cfg.FlowTrace {
+		m.Flow = trace.NewFlowLog(10000)
+		for _, mgr := range m.Managers {
+			mgr.Flow = m.Flow
+		}
+	}
+	m.Domain = unilogic.NewDomain(m.Tree, m.Managers, m.Eng)
+	m.Domain.Policy = cfg.Sharing
+	m.Domain.Flow = m.Flow
+	for w := 0; w < workers; w++ {
+		s := rts.NewScheduler(w, m.Domain, m.Eng, m.Meter)
+		s.Flow = m.Flow
+		m.Scheds = append(m.Scheds, s)
+	}
+	m.Cluster = rts.NewCluster(cfg.Balance, m.Scheds, m.Net)
+	m.Daemon = rts.NewDaemon(m.Domain, m.Scheds, m.Eng)
+	m.Comm = mpi.WorldComm(m.Net)
+	return m
+}
+
+// identityMap gives the worker's first 32 accelerator streams user-level
+// access to the low MappedBytes of the global space (VA == PA), via
+// stage-1 pages owned by ASID 1 and a stage-2 identity under VMID 1.
+func (m *Machine) identityMap(mmu *smmu.SMMU, worker int) {
+	pages := uint64(m.Cfg.MappedBytes) / mmu.PageSize()
+	for p := uint64(0); p < pages; p++ {
+		mmu.MapStage1(1, p*mmu.PageSize(), p*mmu.PageSize(), smmu.PermRW)
+		mmu.MapStage2(1, p*mmu.PageSize(), p*mmu.PageSize(), smmu.PermRW)
+	}
+	for sid := worker * 1000; sid < worker*1000+32; sid++ {
+		mmu.BindContext(sid, 1, 1)
+	}
+}
+
+// Workers returns the Worker count.
+func (m *Machine) Workers() int { return m.Tree.NumWorkers() }
+
+// Run drains the event queue and settles static energy; it returns the
+// final simulated time.
+func (m *Machine) Run() sim.Time {
+	t := m.Eng.RunUntilIdle()
+	m.Meter.Settle()
+	return t
+}
+
+// RunFor advances simulated time by at most d.
+func (m *Machine) RunFor(d sim.Time) sim.Time {
+	t := m.Eng.Run(m.Eng.Now() + d)
+	m.Meter.Settle()
+	return t
+}
+
+// DeployKernel synthesizes src under dir and loads it on worker w,
+// registering it with the UNILOGIC domain and the daemon library. It
+// runs the simulation until the reconfiguration completes.
+func (m *Machine) DeployKernel(src string, dir hls.Directives, w int) (*accel.Instance, error) {
+	k, err := hls.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	im, err := hls.Synthesize(k, dir)
+	if err != nil {
+		return nil, err
+	}
+	m.Daemon.Register(im)
+	var inst *accel.Instance
+	var derr error
+	m.Domain.Deploy(w, im, func(in *accel.Instance, err error) {
+		inst, derr = in, err
+	})
+	m.Eng.RunUntilIdle()
+	if derr != nil {
+		return nil, derr
+	}
+	if inst == nil {
+		return nil, fmt.Errorf("core: deployment of %s never completed", k.Name)
+	}
+	return inst, nil
+}
+
+// Report summarizes a run for humans.
+func (m *Machine) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "machine %s: %d workers, %d compute nodes\n",
+		m.Tree.Name(), m.Workers(), m.Tree.NumComputeNodes())
+	fmt.Fprintf(&b, "simulated time: %v, events: %d\n", m.Eng.Now(), m.Eng.EventsRun())
+	fmt.Fprintf(&b, "energy: %v total (mean power %.2f W)\n", m.Meter.Total(), float64(m.Meter.MeanPower()))
+	for _, bd := range m.Meter.Breakdown() {
+		fmt.Fprintf(&b, "  %-14s %v\n", bd.Category, bd.Energy)
+	}
+	total, remote := m.Domain.Calls()
+	fmt.Fprintf(&b, "accelerator calls: %d (%d remote)\n", total, remote)
+	var cpu, hw uint64
+	for _, s := range m.Scheds {
+		cpu += s.Executed(rts.DeviceCPU)
+		hw += s.Executed(rts.DeviceHW)
+	}
+	fmt.Fprintf(&b, "tasks: %d on cpu, %d in hardware\n", cpu, hw)
+	return b.String()
+}
+
+// WorkerDiagram renders Worker w's block diagram — the textual
+// counterpart of Fig. 4: CPU cores behind the cache-coherent
+// interconnect, the dual-stage SMMU in front of the reconfigurable
+// block, DRAM, and the external interconnect port.
+func (m *Machine) WorkerDiagram(w int) string {
+	mgr := m.Managers[w]
+	sched := m.Scheds[w]
+	fabCfg := mgr.Fab.Config()
+	cacheKiB := m.Cfg.Unimem.CacheCfg.Sets * m.Cfg.Unimem.CacheCfg.Ways * 64 / 1024
+	var b strings.Builder
+	fmt.Fprintf(&b, "Worker %d (compute node %d)  —  Fig. 4 block diagram\n", w, m.Tree.ComputeNodeOf(w))
+	fmt.Fprintf(&b, "+--------------------------------------------------------------+\n")
+	fmt.Fprintf(&b, "| CPU: %d cores @ %.1f GHz            DRAM: %.1f B/ns, %d banks |\n",
+		sched.Cores, sched.CPUModel.ClockGHz,
+		m.Cfg.Unimem.DRAMCfg.BytesPerNs, m.Cfg.Unimem.DRAMCfg.Banks)
+	fmt.Fprintf(&b, "| L2 cache: %d KiB, %d-way (ACE port, coherent)                |\n",
+		cacheKiB, m.Cfg.Unimem.CacheCfg.Ways)
+	fmt.Fprintf(&b, "|        --- cache-coherent interconnect (L0) ---              |\n")
+	fmt.Fprintf(&b, "| dual-stage SMMU: %d-entry TLB, %d+%d walk levels              |\n",
+		m.Cfg.SMMU.TLBEntries, m.Cfg.SMMU.Stage1Levels, m.Cfg.SMMU.Stage2Levels)
+	fmt.Fprintf(&b, "| reconfigurable block: %dx%d regions, %d modules loaded        |\n",
+		fabCfg.Rows, fabCfg.Cols, mgr.Instances())
+	fmt.Fprintf(&b, "|   region: %v\n", fabCfg.PerRegion)
+	fmt.Fprintf(&b, "|   config port: %.0f MB/s, virtualization block: %v            |\n",
+		fabCfg.PortBytesPerNs*1000, mgr.Virtualize)
+	fmt.Fprintf(&b, "| external ACE-lite port -> L1 interconnect (compute node)      |\n")
+	fmt.Fprintf(&b, "+--------------------------------------------------------------+\n")
+	return b.String()
+}

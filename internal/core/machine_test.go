@@ -1,0 +1,110 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"ecoscale/internal/hls"
+	"ecoscale/internal/rts"
+	"ecoscale/internal/sim"
+	"ecoscale/internal/unilogic"
+)
+
+const srcScale = `
+kernel scale(global float* A, int N) {
+    for (i = 0; i < N; i++) {
+        A[i] = A[i] * 2.0;
+    }
+}`
+
+func TestNewMachineWiring(t *testing.T) {
+	m := New(DefaultConfig(4, 2))
+	if m.Workers() != 8 {
+		t.Fatalf("workers = %d", m.Workers())
+	}
+	if m.Space.NumWorkers() != 8 {
+		t.Error("space not sized to workers")
+	}
+	if m.Comm.Size() != 8 {
+		t.Error("world comm not sized to workers")
+	}
+	for w, mgr := range m.Managers {
+		if mgr.Worker != w {
+			t.Errorf("manager %d mislabeled as %d", w, mgr.Worker)
+		}
+	}
+	if m.Domain.Policy != unilogic.Shared {
+		t.Error("default sharing policy should be UNILOGIC shared")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("empty fan-out did not panic")
+		}
+	}()
+	New(Config{})
+}
+
+func TestDeployKernelAndReport(t *testing.T) {
+	m := New(DefaultConfig(2, 1))
+	inst, err := m.DeployKernel(srcScale, hls.DefaultDirectives(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.Worker != 1 {
+		t.Error("deployed to wrong worker")
+	}
+	r := m.Report()
+	if !strings.Contains(r, "2 workers") || !strings.Contains(r, "reconfig") {
+		t.Errorf("report missing content:\n%s", r)
+	}
+}
+
+func TestRunForAdvancesClock(t *testing.T) {
+	m := New(DefaultConfig(2, 1))
+	m.Eng.At(10*sim.Microsecond, func() {})
+	end := m.RunFor(5 * sim.Microsecond)
+	if end != 5*sim.Microsecond {
+		t.Errorf("RunFor stopped at %v", end)
+	}
+	if m.Eng.Pending() != 1 {
+		t.Error("future event consumed early")
+	}
+}
+
+func TestBadKernelDeploy(t *testing.T) {
+	m := New(DefaultConfig(2, 1))
+	if _, err := m.DeployKernel("nonsense", hls.DefaultDirectives(), 0); err == nil {
+		t.Error("bad kernel source should fail")
+	}
+}
+
+func TestSchedulersShareDomain(t *testing.T) {
+	m := New(DefaultConfig(2, 2))
+	if _, err := m.DeployKernel(srcScale, hls.DefaultDirectives(), 0); err != nil {
+		t.Fatal(err)
+	}
+	// A scheduler on another compute node sees the instance via the
+	// shared domain.
+	for _, s := range m.Scheds {
+		if s.Domain != m.Domain {
+			t.Fatal("scheduler not wired to the shared domain")
+		}
+	}
+	if len(m.Domain.Instances("scale")) != 1 {
+		t.Error("instance invisible to domain")
+	}
+	_ = rts.DeviceCPU
+}
+
+func TestWorkerDiagram(t *testing.T) {
+	m := New(DefaultConfig(2, 2))
+	d := m.WorkerDiagram(3)
+	for _, want := range []string{"Worker 3", "compute node 1", "SMMU", "reconfigurable block", "ACE-lite"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("diagram missing %q:\n%s", want, d)
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package energy
+
+// This file implements the power-extrapolation model behind §1 of the
+// paper: "Extrapolating from the top HPC systems, such as China's Tianhe-2
+// Supercomputer, we estimate that sustaining exaflop performance requires
+// an enormous 1GW power. Similar, albeit smaller, figures are obtained by
+// extrapolating even the best system of the Green 500 list."
+//
+// The model is a straightforward efficiency extrapolation with an optional
+// acceleration factor that represents ECOSCALE's reconfigurable datapaths
+// doing the same work at FPGA-class energy per operation.
+
+// MachinePoint describes a reference system by its delivered performance
+// and power.
+type MachinePoint struct {
+	Name   string
+	PFlops float64 // sustained petaflop/s
+	MW     float64 // system power in megawatts
+}
+
+// Reference points from the November-2015 lists the paper extrapolates
+// from (Tianhe-2 Linpack; Shoubu led the Green500 at ~7 GF/W).
+var (
+	Tianhe2         = MachinePoint{Name: "Tianhe-2", PFlops: 33.86, MW: 17.8}
+	Green500Top2015 = MachinePoint{Name: "Shoubu (Green500 #1, 2015)", PFlops: 0.606, MW: 0.0865}
+)
+
+// GFlopsPerWatt returns the machine's energy efficiency.
+func (m MachinePoint) GFlopsPerWatt() float64 {
+	if m.MW == 0 {
+		return 0
+	}
+	return (m.PFlops * 1e6) / (m.MW * 1e6) // GF / W
+}
+
+// ExtrapolateToExaflop returns the power in megawatts needed to sustain
+// one exaflop/s at the machine's measured efficiency.
+func ExtrapolateToExaflop(m MachinePoint) float64 {
+	eff := m.GFlopsPerWatt() // GF/W
+	if eff == 0 {
+		return 0
+	}
+	// 1 EF/s = 1e9 GF/s; power (W) = 1e9 / eff; MW = /1e6.
+	return 1e9 / eff / 1e6
+}
+
+// ScalingModel projects system power across a scaling sweep given a
+// per-operation energy (derived from a CostModel and a measured workload
+// mix) plus fixed per-node overhead.
+type ScalingModel struct {
+	// EnergyPerFlop is the marginal dynamic energy per floating-point
+	// operation, including its share of memory and interconnect traffic.
+	EnergyPerFlop Joules
+	// StaticPerNodeW is static power per worker node.
+	StaticPerNodeW Watts
+	// FlopsPerNode is sustained flop/s per worker node.
+	FlopsPerNode float64
+}
+
+// SystemPowerMW returns total power in megawatts for n nodes running flat
+// out.
+func (s ScalingModel) SystemPowerMW(nodes int) float64 {
+	dynamic := float64(s.EnergyPerFlop) * s.FlopsPerNode * float64(nodes)
+	static := float64(s.StaticPerNodeW) * float64(nodes)
+	return (dynamic + static) / 1e6
+}
+
+// NodesForExaflop returns how many nodes this model needs for 1 EF/s.
+func (s ScalingModel) NodesForExaflop() int {
+	if s.FlopsPerNode <= 0 {
+		return 0
+	}
+	n := 1e18 / s.FlopsPerNode
+	return int(n + 0.5)
+}
+
+// ExaflopPowerMW returns the projected exaflop system power in MW.
+func (s ScalingModel) ExaflopPowerMW() float64 {
+	return s.SystemPowerMW(s.NodesForExaflop())
+}

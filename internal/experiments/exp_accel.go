@@ -1,0 +1,171 @@
+package experiments
+
+// E6–E9: accelerator-layer experiments (UNILOGIC sharing, the
+// virtualization block, bitstream compression, fabric fragmentation).
+
+import (
+	"fmt"
+
+	"ecoscale"
+	"ecoscale/internal/accel"
+	"ecoscale/internal/energy"
+	"ecoscale/internal/fabric"
+	"ecoscale/internal/sim"
+	"ecoscale/internal/trace"
+	"ecoscale/internal/unilogic"
+)
+
+// mcDir is the Monte-Carlo engine implementation used by E6/E7.
+var mcDir = ecoscale.Directives{Unroll: 8, MemPorts: 8, Share: 1, Pipeline: true}
+
+// burst runs nCalls compute-bound pricing calls from Worker 0 against
+// nEngines engines under the given policies and returns the makespan
+// (excluding deployment).
+func burst(policy unilogic.Policy, virtualize bool, workers, nEngines, nCalls, paths int) (sim.Time, float64, error) {
+	w, err := ecoscale.KernelByName("montecarlo")
+	if err != nil {
+		return 0, 0, err
+	}
+	cfg := ecoscale.DefaultConfig(workers, 1)
+	cfg.Sharing = policy
+	cfg.Virtualize = virtualize
+	m := ecoscale.New(cfg)
+	for h := 0; h < nEngines; h++ {
+		if _, err := m.DeployKernel(w.Source, mcDir, h); err != nil {
+			return 0, 0, err
+		}
+	}
+	seed := m.Space.Alloc(0, 4096)
+	out := m.Space.Alloc(0, 4096)
+	start := m.Eng.Now()
+	calls := 0
+	for b := 0; b < nCalls; b++ {
+		m.Domain.Call(0, "montecarlo", accel.CallSpec{
+			Bindings: map[string]float64{"N": float64(paths)},
+			Reads:    []accel.Span{{Addr: seed, Size: 1024}},
+			Writes:   []accel.Span{{Addr: out, Size: 8}},
+			Ops:      uint64(paths) * 4,
+		}, func(err error) {
+			if err == nil {
+				calls++
+			}
+		})
+	}
+	end := m.Run()
+	if calls != nCalls {
+		return 0, 0, fmt.Errorf("burst: %d of %d calls completed", calls, nCalls)
+	}
+	return end - start, m.Domain.Balance("montecarlo"), nil
+}
+
+// E6Sharing compares the UNILOGIC shared pool against private
+// accelerators under skewed demand across engine counts.
+func E6Sharing() (*trace.Table, error) {
+	tbl := trace.NewTable("E6: 32-call burst at one worker, compute-bound 8192-path pricing",
+		"engines", "shared makespan", "private makespan", "UNILOGIC speedup", "shared balance")
+	for _, engines := range []int{1, 2, 4, 8} {
+		shared, bal, err := burst(unilogic.Shared, true, 8, engines, 32, 8192)
+		if err != nil {
+			return nil, err
+		}
+		private, _, err := burst(unilogic.Private, true, 8, engines, 32, 8192)
+		if err != nil {
+			return nil, err
+		}
+		tbl.AddRow(engines, fmt.Sprint(shared), fmt.Sprint(private),
+			fmt.Sprintf("%.2fx", float64(private)/float64(shared)), fmt.Sprintf("%.2f", bal))
+	}
+	return tbl, nil
+}
+
+// E7Pipelining measures the Virtualization block: many short calls
+// through one engine, pipelined versus serialized, across call sizes
+// (the shorter the call, the larger the drain fraction the block hides).
+func E7Pipelining() (*trace.Table, error) {
+	tbl := trace.NewTable("E7: 256 calls through one engine — fine-grain pipelined sharing",
+		"paths/call", "serialized", "virtualized", "speedup")
+	for _, paths := range []int{16, 64, 256, 1024} {
+		serial, _, err := burst(unilogic.Shared, false, 2, 1, 256, paths)
+		if err != nil {
+			return nil, err
+		}
+		pipe, _, err := burst(unilogic.Shared, true, 2, 1, 256, paths)
+		if err != nil {
+			return nil, err
+		}
+		tbl.AddRow(paths, fmt.Sprint(serial), fmt.Sprint(pipe),
+			fmt.Sprintf("%.2fx", float64(serial)/float64(pipe)))
+	}
+	return tbl, nil
+}
+
+// E8Compression measures configuration-data compression (ref [11]):
+// bitstream size, reconfiguration latency and energy, plain vs RLE,
+// across module sizes and configuration densities.
+func E8Compression() (*trace.Table, error) {
+	tbl := trace.NewTable("E8: partial reconfiguration with and without bitstream compression",
+		"regions", "density", "plain bytes", "rle bytes", "plain latency", "rle latency", "energy saved")
+	eng := sim.NewEngine(1)
+	meter := energy.NewMeter(eng, energy.DefaultCostModel())
+	fab := fabric.New(eng, fabric.DefaultConfig(), meter)
+	per := fab.Config().PerRegion
+	for _, regions := range []int{1, 4, 16} {
+		for _, density := range []float64{0.1, 0.25, 0.5} {
+			mod := fabric.Module{Name: fmt.Sprintf("m%dd%.0f", regions, density*100), Req: per.Scale(regions)}
+			p, err := fab.Place(mod)
+			if err != nil {
+				return nil, err
+			}
+			bs := fab.BitstreamFor(p, density)
+			rle := fabric.CompressRLE(bs)
+			plainLat := fab.LoadLatency(p, fabric.LoadOptions{Density: density})
+			rleLat := fab.LoadLatency(p, fabric.LoadOptions{Density: density, Compressed: true})
+			saved := energy.Joules(len(bs)-len(rle)) * meter.Model.ReconfigPerByte
+			tbl.AddRow(regions, density, len(bs), len(rle),
+				fmt.Sprint(plainLat), fmt.Sprint(rleLat), saved.String())
+			fab.Remove(p)
+		}
+	}
+	return tbl, nil
+}
+
+// E9Defrag runs module churn on a fabric and measures placement failure
+// rate and largest placeable module, with and without periodic
+// defragmentation — the middleware virtualization feature of §4.3.
+func E9Defrag() (*trace.Table, error) {
+	tbl := trace.NewTable("E9: 600 load/unload churn steps on an 8x8 fabric",
+		"defrag", "placement failures", "final utilization", "largest free box", "modules moved")
+	for _, defrag := range []bool{false, true} {
+		eng := sim.NewEngine(1)
+		fab := fabric.New(eng, fabric.DefaultConfig(), nil)
+		per := fab.Config().PerRegion
+		rng := sim.NewRNG(42)
+		var live []*fabric.Placement
+		failures, moved := 0, 0
+		for i := 0; i < 600; i++ {
+			if len(live) > 0 && rng.Float64() < 0.45 {
+				k := rng.Intn(len(live))
+				fab.Remove(live[k])
+				live = append(live[:k], live[k+1:]...)
+				continue
+			}
+			mod := fabric.Module{Name: fmt.Sprintf("c%d", i), Req: per.Scale(1 + rng.Intn(6))}
+			p, err := fab.Place(mod)
+			if err != nil {
+				if defrag {
+					moved += fab.Defragment()
+					if p2, err2 := fab.Place(mod); err2 == nil {
+						live = append(live, p2)
+						continue
+					}
+				}
+				failures++
+				continue
+			}
+			live = append(live, p)
+		}
+		tbl.AddRow(defrag, failures, fmt.Sprintf("%.0f%%", 100*fab.Utilization()),
+			fab.LargestFreeBox(), moved)
+	}
+	return tbl, nil
+}

@@ -1,0 +1,102 @@
+package experiments
+
+// E16: irregular access over the PGAS (§2: "the PGAS programming model
+// is an attractive alternative for designing applications with irregular
+// communication patterns"). A sparse gather touches a fraction of a
+// remote table; UNIMEM's word-granular load/store path fetches exactly
+// the touched words, while a DMA-based design must bulk-transfer the
+// whole table before gathering locally. The crossover against touch
+// density is the PGAS argument in one table.
+
+import (
+	"fmt"
+
+	"ecoscale/internal/noc"
+	"ecoscale/internal/sim"
+	"ecoscale/internal/topo"
+	"ecoscale/internal/trace"
+	"ecoscale/internal/unimem"
+)
+
+// E16Irregular measures a sparse gather from a 256 KiB remote table at
+// varying touch densities: fine-grain remote loads vs DMA-the-table.
+func E16Irregular() (*trace.Table, error) {
+	tbl := trace.NewTable("E16: sparse gather from a 256 KiB remote table — load/store vs bulk DMA",
+		"touched", "density", "pgas load/store", "dma whole table", "winner")
+	const tableBytes = 256 << 10
+	const wordBytes = 8
+	words := tableBytes / wordBytes
+	for _, density := range []float64{0.001, 0.01, 0.05, 0.2, 0.5} {
+		touched := int(float64(words) * density)
+		if touched < 1 {
+			touched = 1
+		}
+		ls, err := gatherLoadStore(tableBytes, touched)
+		if err != nil {
+			return nil, err
+		}
+		dma, err := gatherDMA(tableBytes)
+		if err != nil {
+			return nil, err
+		}
+		winner := "load/store"
+		if dma < ls {
+			winner = "dma"
+		}
+		tbl.AddRow(touched, density, fmt.Sprint(ls), fmt.Sprint(dma), winner)
+	}
+	return tbl, nil
+}
+
+// gatherLoadStore fetches `touched` random words from a remote table via
+// pipelined UNIMEM loads.
+func gatherLoadStore(tableBytes, touched int) (sim.Time, error) {
+	eng := sim.NewEngine(1)
+	tree := topo.NewTree(4, 4)
+	net := noc.NewNetwork(eng, tree, noc.DefaultConfig(tree.MaxHops()), nil, nil)
+	space := unimem.NewSpace(net, unimem.DefaultConfig(), nil)
+	table := space.Alloc(4, tableBytes) // remote worker's DRAM
+	rng := sim.NewRNG(9)
+	words := tableBytes / 8
+	window := sim.NewResource(eng, "gather", 8)
+	wg := sim.NewWaitGroup(eng, touched)
+	pageB := uint64(space.PageBytes())
+	for i := 0; i < touched; i++ {
+		w := uint64(rng.Intn(words))
+		addr := table + w*8
+		// Keep each access within a page.
+		if int(addr%pageB)+8 > int(pageB) {
+			addr -= 8
+		}
+		window.Acquire(func() {
+			space.Read(0, addr, 8, func([]byte) {
+				window.Release()
+				wg.DoneOne()
+			})
+		})
+	}
+	var end sim.Time
+	ok := false
+	wg.Wait(func() { end = eng.Now(); ok = true })
+	eng.RunUntilIdle()
+	if !ok {
+		return 0, fmt.Errorf("E16: gather never completed")
+	}
+	return end, nil
+}
+
+// gatherDMA bulk-transfers the whole table to the local worker (after
+// which the gather is local and nearly free at this granularity).
+func gatherDMA(tableBytes int) (sim.Time, error) {
+	eng := sim.NewEngine(1)
+	tree := topo.NewTree(4, 4)
+	net := noc.NewNetwork(eng, tree, noc.DefaultConfig(tree.MaxHops()), nil, nil)
+	var end sim.Time
+	ok := false
+	net.DMATransfer(4, 0, tableBytes, noc.DefaultDMAConfig(), func() { end = eng.Now(); ok = true })
+	eng.RunUntilIdle()
+	if !ok {
+		return 0, fmt.Errorf("E16: DMA never completed")
+	}
+	return end, nil
+}

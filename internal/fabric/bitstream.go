@@ -1,0 +1,137 @@
+package fabric
+
+import (
+	"ecoscale/internal/energy"
+	"ecoscale/internal/sim"
+)
+
+// This file covers the configuration-data path: synthetic partial
+// bitstreams, RLE compression ([11], "Hardware Decompression Techniques
+// for FPGA-based Embedded Systems"), and the timed partial-reconfiguration
+// load through the ICAP-class port.
+
+// BitstreamFor synthesizes the partial bitstream for a placement:
+// deterministic bytes derived from the module name, sized
+// Area() * BytesPerRegion. Real configuration data is dominated by long
+// zero runs (unused routing/config frames); density controls the fraction
+// of frames carrying configuration, which determines how well RLE does.
+func (f *Fabric) BitstreamFor(p *Placement, density float64) []byte {
+	if density <= 0 {
+		density = 0.25
+	}
+	if density > 1 {
+		density = 1
+	}
+	size := p.Area() * f.cfg.BytesPerRegion
+	out := make([]byte, size)
+	seed := int64(0)
+	for _, ch := range p.Module.Name {
+		seed = seed*131 + int64(ch)
+	}
+	rng := sim.NewRNG(seed)
+	// Emit alternating zero runs and configured runs so the density and
+	// run structure match frame-organized bitstreams.
+	i := 0
+	for i < size {
+		runLen := 32 + rng.Intn(224)
+		if rng.Float64() < density {
+			for j := 0; j < runLen && i < size; j++ {
+				out[i] = byte(rng.Uint64())
+				if out[i] == 0 {
+					out[i] = 1
+				}
+				i++
+			}
+		} else {
+			i += runLen
+		}
+	}
+	return out
+}
+
+// CompressRLE run-length encodes data as (count, value) byte pairs with
+// runs up to 255. Worst case doubles the size; configuration data with
+// long zero runs compresses well.
+func CompressRLE(data []byte) []byte {
+	out := make([]byte, 0, len(data)/2)
+	i := 0
+	for i < len(data) {
+		v := data[i]
+		run := 1
+		for i+run < len(data) && data[i+run] == v && run < 255 {
+			run++
+		}
+		out = append(out, byte(run), v)
+		i += run
+	}
+	return out
+}
+
+// DecompressRLE reverses CompressRLE. It panics on malformed input (odd
+// length), which can only arise from corruption.
+func DecompressRLE(data []byte) []byte {
+	if len(data)%2 != 0 {
+		panic("fabric: corrupt RLE stream")
+	}
+	var out []byte
+	for i := 0; i < len(data); i += 2 {
+		run := int(data[i])
+		v := data[i+1]
+		for j := 0; j < run; j++ {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// CompressionRatio returns original/compressed size for a placement's
+// bitstream at the given density.
+func (f *Fabric) CompressionRatio(p *Placement, density float64) float64 {
+	bs := f.BitstreamFor(p, density)
+	return float64(len(bs)) / float64(len(CompressRLE(bs)))
+}
+
+// LoadOptions controls a partial reconfiguration.
+type LoadOptions struct {
+	// Compressed streams the RLE-compressed bitstream through the port
+	// (the fabric-side decompressor runs at line rate, per [11]).
+	Compressed bool
+	// Density is the configuration-frame density for bitstream synthesis.
+	Density float64
+}
+
+// Load performs the timed partial reconfiguration of a placed module:
+// the (possibly compressed) bitstream streams through the single
+// configuration port, charging reconfiguration energy per byte moved.
+// done fires when the region is active. Loads serialize on the port —
+// the middleware contention that E6/E9 observe under churn.
+func (f *Fabric) Load(p *Placement, opt LoadOptions, done func()) {
+	bs := f.BitstreamFor(p, opt.Density)
+	wire := bs
+	if opt.Compressed {
+		wire = CompressRLE(bs)
+	}
+	bytes := len(wire)
+	dur := sim.Time(float64(bytes) / f.cfg.PortBytesPerNs * float64(sim.Nanosecond))
+	f.port.Use(dur, func() {
+		f.loads++
+		f.loadedBytes += uint64(bytes)
+		if f.meter != nil {
+			f.meter.Charge("reconfig", energy.Joules(bytes)*f.meter.Model.ReconfigPerByte)
+		}
+		if done != nil {
+			done()
+		}
+	})
+}
+
+// LoadLatency returns the uncontended reconfiguration time for a
+// placement under the given options.
+func (f *Fabric) LoadLatency(p *Placement, opt LoadOptions) sim.Time {
+	bs := f.BitstreamFor(p, opt.Density)
+	n := len(bs)
+	if opt.Compressed {
+		n = len(CompressRLE(bs))
+	}
+	return sim.Time(float64(n) / f.cfg.PortBytesPerNs * float64(sim.Nanosecond))
+}

@@ -1,0 +1,385 @@
+package fabric
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"ecoscale/internal/energy"
+	"ecoscale/internal/sim"
+)
+
+func newFabric(t testing.TB) (*sim.Engine, *Fabric, *energy.Meter) {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	m := energy.NewMeter(eng, energy.DefaultCostModel())
+	return eng, New(eng, DefaultConfig(), m), m
+}
+
+func smallMod(name string) Module {
+	return Module{Name: name, Req: Resources{LUT: 3000, FF: 6000, BRAM: 8, DSP: 10}}
+}
+
+func bigMod(name string, regions int) Module {
+	per := DefaultConfig().PerRegion
+	return Module{Name: name, Req: per.Scale(regions)}
+}
+
+func TestResourcesArithmetic(t *testing.T) {
+	a := Resources{1, 2, 3, 4}
+	b := Resources{10, 20, 30, 40}
+	if a.Add(b) != (Resources{11, 22, 33, 44}) {
+		t.Error("Add wrong")
+	}
+	if a.Scale(3) != (Resources{3, 6, 9, 12}) {
+		t.Error("Scale wrong")
+	}
+	if !a.FitsIn(b) || b.FitsIn(a) {
+		t.Error("FitsIn wrong")
+	}
+	if !(Resources{}).IsZero() || a.IsZero() {
+		t.Error("IsZero wrong")
+	}
+	if !strings.Contains(a.String(), "LUT:1") {
+		t.Error("String wrong")
+	}
+}
+
+func TestRegionsNeeded(t *testing.T) {
+	per := Resources{LUT: 100, FF: 200, BRAM: 4, DSP: 8}
+	cases := []struct {
+		req  Resources
+		want int
+	}{
+		{Resources{LUT: 50}, 1},
+		{Resources{LUT: 100}, 1},
+		{Resources{LUT: 101}, 2},
+		{Resources{LUT: 100, DSP: 17}, 3}, // DSP dominates
+		{Resources{}, 1},                  // control-only module still needs a region
+	}
+	for _, c := range cases {
+		if got := c.req.RegionsNeeded(per); got != c.want {
+			t.Errorf("RegionsNeeded(%v) = %d, want %d", c.req, got, c.want)
+		}
+	}
+	// Unsatisfiable dimension.
+	if got := (Resources{BRAM: 1}).RegionsNeeded(Resources{LUT: 100}); got < 1<<29 {
+		t.Errorf("impossible requirement returned %d", got)
+	}
+}
+
+func TestPlaceSingle(t *testing.T) {
+	_, f, _ := newFabric(t)
+	p, err := f.Place(smallMod("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Area() != 1 || p.Row != 0 || p.Col != 0 {
+		t.Errorf("placement %v, want 1 region at origin", p)
+	}
+	if f.FreeRegions() != 63 {
+		t.Errorf("FreeRegions = %d, want 63", f.FreeRegions())
+	}
+	if f.Utilization() <= 0 {
+		t.Error("utilization should be positive")
+	}
+}
+
+func TestPlaceBoundingBoxMinimal(t *testing.T) {
+	_, f, _ := newFabric(t)
+	p, err := f.Place(bigMod("b", 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Area() != 6 {
+		t.Errorf("6-region module got area %d box (%dx%d)", p.Area(), p.Rows, p.Cols)
+	}
+	// Squareness preference: 2x3 or 3x2, not 1x6.
+	if p.Rows == 1 || p.Cols == 1 {
+		t.Errorf("bounding box %dx%d is not compact", p.Rows, p.Cols)
+	}
+}
+
+func TestPlacementsDoNotOverlap(t *testing.T) {
+	_, f, _ := newFabric(t)
+	for i := 0; i < 10; i++ {
+		if _, err := f.Place(bigMod(string(rune('a'+i)), 1+i%4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Grid cells each owned by at most one placement — verified via fill
+	// bookkeeping: total occupied equals sum of areas.
+	total := 0
+	for _, p := range f.Placements() {
+		total += p.Area()
+	}
+	if got := f.TotalRegions() - f.FreeRegions(); got != total {
+		t.Errorf("occupied %d != sum of areas %d (overlap!)", got, total)
+	}
+}
+
+func TestPlaceExhaustion(t *testing.T) {
+	_, f, _ := newFabric(t)
+	n := 0
+	for {
+		_, err := f.Place(bigMod("m", 1))
+		if err != nil {
+			var nos *ErrNoSpace
+			if !errors.As(err, &nos) {
+				t.Fatalf("wrong error type: %v", err)
+			}
+			break
+		}
+		n++
+	}
+	if n != 64 {
+		t.Errorf("placed %d single-region modules on an 8x8 grid", n)
+	}
+	if f.PlacementFailures() != 1 {
+		t.Errorf("failures = %d", f.PlacementFailures())
+	}
+}
+
+func TestRemove(t *testing.T) {
+	_, f, _ := newFabric(t)
+	p, _ := f.Place(bigMod("a", 4))
+	f.Remove(p)
+	if f.FreeRegions() != 64 {
+		t.Error("Remove did not free regions")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("double Remove did not panic")
+		}
+	}()
+	f.Remove(p)
+}
+
+func TestFragmentationAndDefrag(t *testing.T) {
+	_, f, _ := newFabric(t)
+	// Fill with 1x1 modules, then remove a checkerboard to fragment.
+	var ps []*Placement
+	for i := 0; i < 64; i++ {
+		p, err := f.Place(bigMod("m", 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ps = append(ps, p)
+	}
+	for i := 0; i < 64; i += 2 {
+		f.Remove(ps[i])
+	}
+	if f.FreeRegions() != 32 {
+		t.Fatal("setup wrong")
+	}
+	if f.LargestFreeBox() >= 16 {
+		t.Fatalf("checkerboard should be fragmented, largest box %d", f.LargestFreeBox())
+	}
+	// A 16-region module cannot be placed despite 32 free regions.
+	if _, err := f.Place(bigMod("big", 16)); err == nil {
+		t.Fatal("placement into fragmented fabric should fail")
+	}
+	moved := f.Defragment()
+	if moved == 0 {
+		t.Error("defragmentation moved nothing")
+	}
+	if f.LargestFreeBox() < 16 {
+		t.Errorf("after defrag largest free box = %d, want >= 16", f.LargestFreeBox())
+	}
+	if _, err := f.Place(bigMod("big", 16)); err != nil {
+		t.Errorf("placement after defrag failed: %v", err)
+	}
+}
+
+func TestDefragPreservesModules(t *testing.T) {
+	_, f, _ := newFabric(t)
+	var names []string
+	for i := 0; i < 8; i++ {
+		name := string(rune('a' + i))
+		if _, err := f.Place(bigMod(name, 1+i%3)); err != nil {
+			t.Fatal(err)
+		}
+		names = append(names, name)
+	}
+	f.Defragment()
+	got := map[string]bool{}
+	total := 0
+	for _, p := range f.Placements() {
+		got[p.Module.Name] = true
+		total += p.Area()
+	}
+	for _, n := range names {
+		if !got[n] {
+			t.Errorf("module %s lost in defrag", n)
+		}
+	}
+	if f.TotalRegions()-f.FreeRegions() != total {
+		t.Error("defrag corrupted occupancy")
+	}
+}
+
+func TestRLERoundtrip(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{1},
+		{0, 0, 0, 0},
+		{1, 2, 3, 4},
+		bytes.Repeat([]byte{7}, 1000),
+	}
+	for _, c := range cases {
+		got := DecompressRLE(CompressRLE(c))
+		if !bytes.Equal(got, c) && !(len(got) == 0 && len(c) == 0) {
+			t.Errorf("roundtrip failed for %v", c)
+		}
+	}
+}
+
+// Property: decompress∘compress = identity for arbitrary data.
+func TestRLERoundtripProperty(t *testing.T) {
+	prop := func(data []byte) bool {
+		got := DecompressRLE(CompressRLE(data))
+		if len(data) == 0 {
+			return len(got) == 0
+		}
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRLECorruptPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("odd-length RLE did not panic")
+		}
+	}()
+	DecompressRLE([]byte{1, 2, 3})
+}
+
+func TestBitstreamDeterministicAndSized(t *testing.T) {
+	_, f, _ := newFabric(t)
+	p, _ := f.Place(bigMod("a", 4))
+	b1 := f.BitstreamFor(p, 0.25)
+	b2 := f.BitstreamFor(p, 0.25)
+	if !bytes.Equal(b1, b2) {
+		t.Error("bitstream not deterministic")
+	}
+	if len(b1) != 4*f.Config().BytesPerRegion {
+		t.Errorf("bitstream size %d, want %d", len(b1), 4*f.Config().BytesPerRegion)
+	}
+}
+
+func TestBitstreamCompresses(t *testing.T) {
+	_, f, _ := newFabric(t)
+	p, _ := f.Place(bigMod("a", 4))
+	ratio := f.CompressionRatio(p, 0.25)
+	if ratio < 1.5 {
+		t.Errorf("compression ratio %.2f too low for sparse config data", ratio)
+	}
+	dense := f.CompressionRatio(p, 1.0)
+	if dense >= ratio {
+		t.Errorf("dense bitstream (%.2f) should compress worse than sparse (%.2f)", dense, ratio)
+	}
+}
+
+func TestLoadTiming(t *testing.T) {
+	eng, f, m := newFabric(t)
+	p, _ := f.Place(bigMod("a", 2))
+	var plain, comp sim.Time
+	f.Load(p, LoadOptions{}, func() { plain = eng.Now() })
+	eng.RunUntilIdle()
+	start := eng.Now()
+	f.Load(p, LoadOptions{Compressed: true}, func() { comp = eng.Now() - start })
+	eng.RunUntilIdle()
+	if comp >= plain {
+		t.Errorf("compressed load (%v) should beat plain (%v)", comp, plain)
+	}
+	if f.Loads() != 2 {
+		t.Errorf("Loads = %d", f.Loads())
+	}
+	if m.Category("reconfig") <= 0 {
+		t.Error("no reconfiguration energy charged")
+	}
+	if plain != f.LoadLatency(p, LoadOptions{}) {
+		t.Error("uncontended load should match LoadLatency")
+	}
+}
+
+func TestLoadSerializesOnPort(t *testing.T) {
+	eng, f, _ := newFabric(t)
+	p1, _ := f.Place(bigMod("a", 2))
+	p2, _ := f.Place(bigMod("b", 2))
+	var t1, t2 sim.Time
+	f.Load(p1, LoadOptions{}, func() { t1 = eng.Now() })
+	f.Load(p2, LoadOptions{}, func() { t2 = eng.Now() })
+	eng.RunUntilIdle()
+	if t2 <= t1 {
+		t.Error("concurrent loads should serialize on the configuration port")
+	}
+}
+
+func TestLoadEnergyScalesWithBytes(t *testing.T) {
+	eng, f, m := newFabric(t)
+	p, _ := f.Place(bigMod("a", 2))
+	f.Load(p, LoadOptions{}, nil)
+	eng.RunUntilIdle()
+	ePlain := m.Category("reconfig")
+	f.Load(p, LoadOptions{Compressed: true}, nil)
+	eng.RunUntilIdle()
+	eComp := m.Category("reconfig") - ePlain
+	if eComp >= ePlain {
+		t.Errorf("compressed load energy (%v) should be below plain (%v)", eComp, ePlain)
+	}
+}
+
+func TestInvalidConfigPanics(t *testing.T) {
+	eng := sim.NewEngine(1)
+	for name, cfg := range map[string]Config{
+		"zero grid": {Rows: 0, Cols: 4, PortBytesPerNs: 1},
+		"zero port": {Rows: 4, Cols: 4, PortBytesPerNs: 0},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			New(eng, cfg, nil)
+		}()
+	}
+}
+
+// Property: any mix of place/remove keeps the occupancy accounting exact
+// and never overlaps placements.
+func TestPlacementAccountingProperty(t *testing.T) {
+	prop := func(ops []uint8) bool {
+		_, f, _ := newFabric(t)
+		var live []*Placement
+		for _, op := range ops {
+			if op%3 == 0 && len(live) > 0 {
+				idx := int(op/3) % len(live)
+				f.Remove(live[idx])
+				live = append(live[:idx], live[idx+1:]...)
+			} else {
+				p, err := f.Place(bigMod("m", 1+int(op)%5))
+				if err == nil {
+					live = append(live, p)
+				}
+			}
+			sum := 0
+			for _, p := range live {
+				sum += p.Area()
+			}
+			if f.TotalRegions()-f.FreeRegions() != sum {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,229 @@
+package hls
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRunVecAdd(t *testing.T) {
+	k := MustParse(srcVecAdd)
+	a := []float64{1, 2, 3, 4}
+	b := []float64{10, 20, 30, 40}
+	c := make([]float64, 4)
+	st, err := Run(k, []Value{B(a), B(b), B(c), S(4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range c {
+		if c[i] != a[i]+b[i] {
+			t.Errorf("c[%d] = %v", i, c[i])
+		}
+	}
+	if st.Loads != 8 || st.Stores != 4 {
+		t.Errorf("loads/stores = %d/%d, want 8/4", st.Loads, st.Stores)
+	}
+	if st.Ops == 0 {
+		t.Error("no ops counted")
+	}
+}
+
+func TestRunDot(t *testing.T) {
+	k := MustParse(srcDot)
+	a := []float64{1, 2, 3}
+	b := []float64{4, 5, 6}
+	out := make([]float64, 1)
+	if _, err := Run(k, []Value{B(a), B(b), B(out), S(3)}); err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 32 {
+		t.Errorf("dot = %v, want 32", out[0])
+	}
+}
+
+func TestRunMatMul(t *testing.T) {
+	k := MustParse(srcMatMul)
+	n := 4
+	a := make([]float64, n*n)
+	b := make([]float64, n*n)
+	c := make([]float64, n*n)
+	for i := range a {
+		a[i] = float64(i%7) + 1
+		b[i] = float64(i%5) + 1
+	}
+	if _, err := Run(k, []Value{B(a), B(b), B(c), S(float64(n))}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var want float64
+			for kk := 0; kk < n; kk++ {
+				want += a[i*n+kk] * b[kk*n+j]
+			}
+			if math.Abs(c[i*n+j]-want) > 1e-9 {
+				t.Fatalf("C[%d,%d] = %v, want %v", i, j, c[i*n+j], want)
+			}
+		}
+	}
+}
+
+func TestRunIfElse(t *testing.T) {
+	k := MustParse(`
+kernel relu(global float* A, int N) {
+    for (i = 0; i < N; i++) {
+        if (A[i] < 0.0) { A[i] = 0.0; }
+    }
+}`)
+	a := []float64{-1, 2, -3, 4}
+	if _, err := Run(k, []Value{B(a), S(4)}); err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0, 2, 0, 4}
+	for i := range a {
+		if a[i] != want[i] {
+			t.Errorf("a[%d] = %v, want %v", i, a[i], want[i])
+		}
+	}
+}
+
+func TestRunBuiltins(t *testing.T) {
+	k := MustParse(`
+kernel f(global float* A, int N) {
+    A[0] = sqrt(16.0);
+    A[1] = exp(0.0);
+    A[2] = log(1.0);
+    A[3] = abs(0.0 - 5.0);
+    A[4] = min(3.0, 7.0);
+    A[5] = max(3.0, 7.0);
+    A[6] = floor(2.9);
+}`)
+	a := make([]float64, 7)
+	if _, err := Run(k, []Value{B(a), S(0)}); err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{4, 1, 0, 5, 3, 7, 2}
+	for i := range want {
+		if a[i] != want[i] {
+			t.Errorf("A[%d] = %v, want %v", i, a[i], want[i])
+		}
+	}
+}
+
+func TestRunLogicalShortCircuit(t *testing.T) {
+	// RHS of && would divide by zero; short-circuit must skip it.
+	k := MustParse(`
+kernel f(global float* A, int N) {
+    if (N > 0 && 1 / N > 0) { A[0] = 1.0; }
+    if (N == 0 || 1 / N > 0) { A[1] = 1.0; }
+}`)
+	a := make([]float64, 2)
+	if _, err := Run(k, []Value{B(a), S(0)}); err != nil {
+		t.Fatalf("short-circuit failed: %v", err)
+	}
+	if a[0] != 0 || a[1] != 1 {
+		t.Errorf("a = %v", a)
+	}
+}
+
+func TestRunIntTruncation(t *testing.T) {
+	k := MustParse(`
+kernel f(global float* A, int N) {
+    int half = N / 2;
+    A[0] = half;
+    A[1] = N % 3;
+}`)
+	a := make([]float64, 2)
+	if _, err := Run(k, []Value{B(a), S(7)}); err != nil {
+		t.Fatal(err)
+	}
+	if a[0] != 3.5 { // int division of float64 7/2 — declared int truncates
+		// 7/2 = 3.5 then int decl truncates to 3
+		t.Logf("half stored as %v", a[0])
+	}
+	if a[0] != 3 {
+		t.Errorf("int decl did not truncate: %v", a[0])
+	}
+	if a[1] != 1 {
+		t.Errorf("7 %% 3 = %v", a[1])
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := map[string]struct {
+		src  string
+		args []Value
+	}{
+		"arg count":       {srcVecAdd, []Value{S(1)}},
+		"buffer expected": {srcVecAdd, []Value{S(1), S(2), S(3), S(4)}},
+		"oob": {`kernel f(global float* A, int N) { A[N] = 1.0; }`,
+			[]Value{B(make([]float64, 2)), S(5)}},
+		"div zero": {`kernel f(global float* A, int N) { A[0] = 1.0 / (N - N); }`,
+			[]Value{B(make([]float64, 1)), S(3)}},
+		"mod zero": {`kernel f(global float* A, int N) { A[0] = 5 % (N - N); }`,
+			[]Value{B(make([]float64, 1)), S(3)}},
+		"undef var": {`kernel f(global float* A, int N) { A[0] = q; }`,
+			[]Value{B(make([]float64, 1)), S(0)}},
+		"buffer as scalar": {`kernel f(global float* A, int N) { A[0] = A + 1.0; }`,
+			[]Value{B(make([]float64, 1)), S(0)}},
+		"sqrt neg": {`kernel f(global float* A, int N) { A[0] = sqrt(0.0 - 1.0); }`,
+			[]Value{B(make([]float64, 1)), S(0)}},
+		"log nonpos": {`kernel f(global float* A, int N) { A[0] = log(0.0); }`,
+			[]Value{B(make([]float64, 1)), S(0)}},
+		"scalar as buffer": {`kernel f(global float* A, int N) { A[0] = N[0]; }`,
+			[]Value{B(make([]float64, 1)), S(0)}},
+	}
+	for name, c := range cases {
+		k, err := Parse(c.src)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", name, err)
+		}
+		if _, err := Run(k, c.args); err == nil {
+			t.Errorf("%s: expected runtime error", name)
+		}
+	}
+}
+
+func TestRunInfiniteLoopGuard(t *testing.T) {
+	old := maxIterations
+	maxIterations = 1000
+	defer func() { maxIterations = old }()
+	k := MustParse(`kernel f(global float* A, int N) { for (i = 0; i < 1; i = i * 1) { A[0] = i; } }`)
+	if _, err := Run(k, []Value{B(make([]float64, 1)), S(0)}); err == nil {
+		t.Error("non-terminating loop did not error")
+	}
+}
+
+// Property: vecadd through the interpreter equals Go-native addition for
+// arbitrary inputs — the reference-semantics check.
+func TestInterpreterMatchesNativeProperty(t *testing.T) {
+	k := MustParse(srcVecAdd)
+	prop := func(raw []float64) bool {
+		n := len(raw)
+		if n == 0 {
+			return true
+		}
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+		}
+		a := append([]float64(nil), raw...)
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = float64(i)
+		}
+		c := make([]float64, n)
+		if _, err := Run(k, []Value{B(a), B(b), B(c), S(float64(n))}); err != nil {
+			return false
+		}
+		for i := range c {
+			if c[i] != a[i]+b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,167 @@
+package hls
+
+import (
+	"strings"
+	"testing"
+)
+
+const srcLocal = `
+kernel smooth(global float* X, global float* Y, int N) {
+    local float buf[8];
+    for (k = 0; k < 8; k++) {
+        buf[k] = X[k];
+    }
+    for (i = 0; i < N; i++) {
+        Y[i] = buf[i % 8] * 2.0;
+    }
+}`
+
+func TestParseLocalDecl(t *testing.T) {
+	k := MustParse(srcLocal)
+	decl, ok := k.Body[0].(*LocalDecl)
+	if !ok {
+		t.Fatalf("first stmt is %T, want LocalDecl", k.Body[0])
+	}
+	if decl.Name != "buf" || decl.Size != 8 || decl.Type != Float {
+		t.Errorf("decl = %+v", decl)
+	}
+}
+
+func TestParseLocalDeclErrors(t *testing.T) {
+	cases := map[string]string{
+		"float size": `kernel f(int N) { local float b[2.5]; }`,
+		"zero size":  `kernel f(int N) { local float b[0]; }`,
+		"no size":    `kernel f(int N) { local float b[]; }`,
+		"bad type":   `kernel f(int N) { local double b[4]; }`,
+		"no semi":    `kernel f(int N) { local float b[4] }`,
+		"no bracket": `kernel f(int N) { local float b; }`,
+	}
+	for name, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%s: expected parse error", name)
+		}
+	}
+}
+
+func TestRunLocalArray(t *testing.T) {
+	k := MustParse(srcLocal)
+	n := 32
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = float64(i + 1)
+	}
+	if _, err := Run(k, []Value{B(x), B(y), S(float64(n))}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		want := x[i%8] * 2
+		if y[i] != want {
+			t.Fatalf("y[%d] = %v, want %v", i, y[i], want)
+		}
+	}
+}
+
+func TestLocalShadowErrors(t *testing.T) {
+	k := MustParse(`kernel f(global float* A, int N) { local float A[4]; }`)
+	if _, err := Run(k, []Value{B(make([]float64, 4)), S(0)}); err == nil {
+		t.Error("shadowing a buffer should fail at runtime")
+	}
+	k2 := MustParse(`kernel f(int N) { local float N[4]; }`)
+	if _, err := Run(k2, nil); err == nil {
+		t.Error("shadowing a scalar should fail at runtime")
+	}
+}
+
+func TestLocalArrayOffMemPorts(t *testing.T) {
+	// A kernel reading only from a local array must not be bound by the
+	// single global memory port: its II should beat the same kernel
+	// reading from a global buffer.
+	srcGlobal := `
+kernel g(global float* X, global float* Y, int N) {
+    for (i = 0; i < N; i++) {
+        Y[i] = X[i % 8] + X[(i+1) % 8] + X[(i+2) % 8];
+    }
+}`
+	srcLoc := `
+kernel l(global float* X, global float* Y, int N) {
+    local float b[8];
+    for (k = 0; k < 8; k++) { b[k] = X[k]; }
+    for (i = 0; i < N; i++) {
+        Y[i] = b[i % 8] + b[(i+1) % 8] + b[(i+2) % 8];
+    }
+}`
+	dir := Directives{Unroll: 1, MemPorts: 1, Share: 1, Pipeline: true}
+	img, err := Synthesize(MustParse(srcGlobal), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iml, err := Synthesize(MustParse(srcLoc), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iml.II() >= img.II() {
+		t.Errorf("local-array II (%d) should beat global-buffer II (%d)", iml.II(), img.II())
+	}
+	bind := map[string]float64{"N": 4096}
+	cg, _ := img.Cycles(bind)
+	cl, _ := iml.Cycles(bind)
+	if cl >= cg {
+		t.Errorf("local-array cycles (%d) should beat global (%d)", cl, cg)
+	}
+}
+
+func TestLocalArrayBRAMArea(t *testing.T) {
+	im, err := Synthesize(MustParse(srcLocal), DefaultDirectives())
+	if err != nil {
+		t.Fatal(err)
+	}
+	noLocal, err := Synthesize(MustParse(`
+kernel smooth(global float* X, global float* Y, int N) {
+    for (i = 0; i < N; i++) {
+        Y[i] = X[i % 8] * 2.0;
+    }
+}`), DefaultDirectives())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im.Area.BRAM <= noLocal.Area.BRAM {
+		t.Errorf("local array did not add BRAM: %v vs %v", im.Area, noLocal.Area)
+	}
+}
+
+func TestLocalDualPortConstraint(t *testing.T) {
+	// 4 reads of one local array per iteration: dual ports → ResMII 2.
+	src := `
+kernel f(global float* X, global float* Y, int N) {
+    local float b[16];
+    for (k = 0; k < 16; k++) { b[k] = X[k]; }
+    for (i = 0; i < N; i++) {
+        Y[i] = b[i%16] + b[(i+1)%16] + b[(i+2)%16] + b[(i+3)%16];
+    }
+}`
+	im, err := Synthesize(MustParse(src), Directives{Unroll: 1, MemPorts: 4, Share: 1, Pipeline: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im.II() < 2 {
+		t.Errorf("II = %d; 4 accesses over 2 BRAM ports must bound II >= 2", im.II())
+	}
+}
+
+func TestOpKindStringsExtended(t *testing.T) {
+	if OpLLoad.String() != "lload" || OpLStore.String() != "lstore" {
+		t.Error("local op kind strings wrong")
+	}
+}
+
+func TestLocalDeclInReportPath(t *testing.T) {
+	im, err := Synthesize(MustParse(srcLocal), DefaultDirectives())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := im.Report(map[string]float64{"N": 64})
+	if !strings.Contains(r, "BRAM") {
+		t.Errorf("report missing BRAM: %s", r)
+	}
+}

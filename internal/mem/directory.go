@@ -1,0 +1,196 @@
+package mem
+
+import (
+	"ecoscale/internal/noc"
+	"ecoscale/internal/sim"
+	"ecoscale/internal/trace"
+)
+
+// This file implements the global directory-based cache-coherence
+// baseline: the architecture UNIMEM replaces. §4.1: "Other existing
+// architectures either require a global cache coherent mechanism, which
+// simply cannot scale, or support only DMA operations...". E3 measures
+// exactly how the protocol's invalidation/ack traffic grows with sharers
+// and node count, compared with UNIMEM's one-owner model.
+
+// lineState is the directory's view of one line.
+type lineState struct {
+	sharers map[int]bool // nodes holding a clean copy
+	owner   int          // node holding the line dirty, -1 if none
+}
+
+// Directory is an MSI-style full-map directory distributed across nodes
+// by home(addr). All protocol messages travel on the Network, so latency
+// and traffic both reflect the machine's topology.
+type Directory struct {
+	net  *noc.Network
+	home func(addr uint64) int
+	reg  *trace.Registry
+
+	lines map[uint64]*lineState
+
+	// CtrlBytes is the size of a protocol control message (request,
+	// invalidation, ack); data messages carry a full line.
+	CtrlBytes int
+}
+
+// NewDirectory creates a directory over the network. home maps a line
+// address to its home node; the registry (optional) receives message
+// counters under "coh.*".
+func NewDirectory(net *noc.Network, home func(addr uint64) int, reg *trace.Registry) *Directory {
+	return &Directory{
+		net:       net,
+		home:      home,
+		reg:       reg,
+		lines:     map[uint64]*lineState{},
+		CtrlBytes: 16,
+	}
+}
+
+func (d *Directory) state(line uint64) *lineState {
+	s, ok := d.lines[line]
+	if !ok {
+		s = &lineState{sharers: map[int]bool{}, owner: -1}
+		d.lines[line] = s
+	}
+	return s
+}
+
+func (d *Directory) count(name string, n uint64) {
+	if d.reg != nil {
+		d.reg.Counter("coh." + name).Add(n)
+	}
+}
+
+// sortedNodes returns map keys in deterministic order.
+func sortedNodes(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for n := range m {
+		out = append(out, n)
+	}
+	for i := 1; i < len(out); i++ { // insertion sort; sets are small
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// Read performs a coherent read of the line containing addr by node,
+// calling done when the data arrives at the requester.
+func (d *Directory) Read(node int, addr uint64, done func()) {
+	line := addr / LineBytes
+	s := d.state(line)
+	h := d.home(addr)
+	d.count("reads", 1)
+
+	if s.sharers[node] || s.owner == node {
+		// Local hit: no protocol traffic.
+		d.count("local_hits", 1)
+		if done != nil {
+			done()
+		}
+		return
+	}
+
+	// Request to home.
+	d.count("msgs", 1)
+	d.net.Send(node, h, d.CtrlBytes, noc.Load, func() {
+		if s.owner >= 0 && s.owner != node {
+			// Dirty remote: home fetches from owner (writeback), owner
+			// demotes to sharer, then data goes to requester.
+			owner := s.owner
+			d.count("msgs", 2) // fetch + writeback data
+			d.net.Send(h, owner, d.CtrlBytes, noc.Sync, func() {
+				d.net.Send(owner, h, LineBytes, noc.Store, func() {
+					s.owner = -1
+					s.sharers[owner] = true
+					s.sharers[node] = true
+					d.count("msgs", 1)
+					d.net.Send(h, node, LineBytes, noc.Load, done)
+				})
+			})
+			return
+		}
+		s.sharers[node] = true
+		d.count("msgs", 1)
+		d.net.Send(h, node, LineBytes, noc.Load, done)
+	})
+}
+
+// Write performs a coherent write (read-for-ownership) of the line
+// containing addr by node: all other copies are invalidated and acked
+// before the requester proceeds.
+func (d *Directory) Write(node int, addr uint64, done func()) {
+	line := addr / LineBytes
+	s := d.state(line)
+	h := d.home(addr)
+	d.count("writes", 1)
+
+	if s.owner == node {
+		d.count("local_hits", 1)
+		if done != nil {
+			done()
+		}
+		return
+	}
+
+	d.count("msgs", 1)
+	d.net.Send(node, h, d.CtrlBytes, noc.Store, func() {
+		// Gather every copy that must die.
+		var victims []int
+		for _, n := range sortedNodes(s.sharers) {
+			if n != node {
+				victims = append(victims, n)
+			}
+		}
+		if s.owner >= 0 && s.owner != node {
+			victims = append(victims, s.owner)
+		}
+		finish := func() {
+			for k := range s.sharers {
+				delete(s.sharers, k)
+			}
+			s.owner = node
+			d.count("msgs", 1)
+			d.net.Send(h, node, LineBytes, noc.Store, done)
+		}
+		if len(victims) == 0 {
+			finish()
+			return
+		}
+		d.count("invalidations", uint64(len(victims)))
+		wg := sim.NewWaitGroup(d.net.Engine(), len(victims))
+		for _, v := range victims {
+			v := v
+			d.count("msgs", 2) // inv + ack
+			d.net.Send(h, v, d.CtrlBytes, noc.Sync, func() {
+				d.net.Send(v, h, d.CtrlBytes, noc.Sync, wg.DoneOne)
+			})
+		}
+		wg.Wait(finish)
+	})
+}
+
+// Sharers returns how many nodes currently hold the line containing addr
+// (clean sharers plus a dirty owner).
+func (d *Directory) Sharers(addr uint64) int {
+	s, ok := d.lines[addr/LineBytes]
+	if !ok {
+		return 0
+	}
+	n := len(s.sharers)
+	if s.owner >= 0 && !s.sharers[s.owner] {
+		n++
+	}
+	return n
+}
+
+// Owner returns the dirty owner of the line containing addr, or -1.
+func (d *Directory) Owner(addr uint64) int {
+	s, ok := d.lines[addr/LineBytes]
+	if !ok {
+		return -1
+	}
+	return s.owner
+}

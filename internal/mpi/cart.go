@@ -1,0 +1,161 @@
+package mpi
+
+import "fmt"
+
+// Cart is an MPI-3-style Cartesian topology over a communicator's ranks:
+// the abstraction §4.4 leverages for hierarchical data partitioning.
+type Cart struct {
+	Comm     *Comm
+	Dims     []int
+	Periodic []bool
+}
+
+// NewCart builds a Cartesian view; the product of dims must equal the
+// communicator size.
+func NewCart(c *Comm, dims []int, periodic []bool) *Cart {
+	if len(dims) == 0 {
+		panic("mpi: cart needs at least one dimension")
+	}
+	prod := 1
+	for _, d := range dims {
+		if d <= 0 {
+			panic("mpi: cart dims must be positive")
+		}
+		prod *= d
+	}
+	if prod != c.Size() {
+		panic(fmt.Sprintf("mpi: cart %v has %d cells for %d ranks", dims, prod, c.Size()))
+	}
+	if periodic == nil {
+		periodic = make([]bool, len(dims))
+	}
+	if len(periodic) != len(dims) {
+		panic("mpi: periodic length mismatch")
+	}
+	return &Cart{Comm: c, Dims: append([]int(nil), dims...), Periodic: append([]bool(nil), periodic...)}
+}
+
+// Coords returns the grid coordinates of a rank (row-major).
+func (ct *Cart) Coords(rank int) []int {
+	ct.Comm.checkRank(rank)
+	coords := make([]int, len(ct.Dims))
+	for i := len(ct.Dims) - 1; i >= 0; i-- {
+		coords[i] = rank % ct.Dims[i]
+		rank /= ct.Dims[i]
+	}
+	return coords
+}
+
+// Rank returns the rank at the given coordinates.
+func (ct *Cart) Rank(coords []int) int {
+	if len(coords) != len(ct.Dims) {
+		panic("mpi: coordinate dimensionality mismatch")
+	}
+	rank := 0
+	for i, c := range coords {
+		if c < 0 || c >= ct.Dims[i] {
+			panic(fmt.Sprintf("mpi: coordinate %d out of range in dim %d", c, i))
+		}
+		rank = rank*ct.Dims[i] + c
+	}
+	return rank
+}
+
+// Shift returns the source and destination ranks for a displacement
+// along a dimension (MPI_Cart_shift): -1 where the edge is reached and
+// the dimension is not periodic.
+func (ct *Cart) Shift(rank, dim, disp int) (src, dst int) {
+	coords := ct.Coords(rank)
+	move := func(delta int) int {
+		c := append([]int(nil), coords...)
+		v := c[dim] + delta
+		if ct.Periodic[dim] {
+			d := ct.Dims[dim]
+			v = ((v % d) + d) % d
+		} else if v < 0 || v >= ct.Dims[dim] {
+			return -1
+		}
+		c[dim] = v
+		return ct.Rank(c)
+	}
+	return move(-disp), move(disp)
+}
+
+// Neighbors returns the distinct valid neighbour ranks at ±1 along every
+// dimension.
+func (ct *Cart) Neighbors(rank int) []int {
+	seen := map[int]bool{}
+	var out []int
+	for d := range ct.Dims {
+		src, dst := ct.Shift(rank, d, 1)
+		for _, n := range []int{src, dst} {
+			if n >= 0 && n != rank && !seen[n] {
+				seen[n] = true
+				out = append(out, n)
+			}
+		}
+	}
+	return out
+}
+
+// Graph is an MPI-3 distributed-graph topology: arbitrary neighbour
+// lists per rank.
+type Graph struct {
+	Comm  *Comm
+	Edges [][]int
+}
+
+// NewGraph builds a graph topology; edges[r] lists rank r's neighbours.
+func NewGraph(c *Comm, edges [][]int) *Graph {
+	if len(edges) != c.Size() {
+		panic("mpi: graph needs one adjacency list per rank")
+	}
+	for r, ns := range edges {
+		for _, n := range ns {
+			if n < 0 || n >= c.Size() {
+				panic(fmt.Sprintf("mpi: rank %d has invalid neighbour %d", r, n))
+			}
+		}
+	}
+	return &Graph{Comm: c, Edges: edges}
+}
+
+// NeighborExchange sends data[r][k] from rank r to its k-th neighbour and
+// collects the symmetric incoming messages; done receives in[r] = list of
+// messages in neighbour order.
+func (g *Graph) NeighborExchange(data [][][]float64, done func(in [][]Message)) {
+	p := g.Comm.Size()
+	in := make([][]Message, p)
+	total := 0
+	for r, ns := range g.Edges {
+		in[r] = make([]Message, len(ns))
+		total += len(ns)
+	}
+	if total == 0 {
+		if done != nil {
+			done(in)
+		}
+		return
+	}
+	wg := 0
+	check := func() {
+		wg++
+		if wg == total && done != nil {
+			done(in)
+		}
+	}
+	for r, ns := range g.Edges {
+		for k, n := range ns {
+			r, k, n := r, k, n
+			g.Comm.Recv(r, n, collectiveTag-400, func(m Message) {
+				in[r][k] = m
+				check()
+			})
+		}
+	}
+	for r, ns := range g.Edges {
+		for k, n := range ns {
+			g.Comm.Send(r, n, collectiveTag-400, data[r][k], nil)
+		}
+	}
+}

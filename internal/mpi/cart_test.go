@@ -1,0 +1,156 @@
+package mpi
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCartCoordsRankRoundtrip(t *testing.T) {
+	_, c := newComm(t, 12)
+	ct := NewCart(c, []int{3, 4}, nil)
+	for r := 0; r < 12; r++ {
+		coords := ct.Coords(r)
+		if got := ct.Rank(coords); got != r {
+			t.Errorf("rank %d → %v → %d", r, coords, got)
+		}
+	}
+	if co := ct.Coords(7); co[0] != 1 || co[1] != 3 {
+		t.Errorf("Coords(7) = %v, want [1 3]", co)
+	}
+}
+
+func TestCartShiftInterior(t *testing.T) {
+	_, c := newComm(t, 9)
+	ct := NewCart(c, []int{3, 3}, nil)
+	// Rank 4 is the centre of a 3x3.
+	src, dst := ct.Shift(4, 0, 1)
+	if src != 1 || dst != 7 {
+		t.Errorf("row shift = (%d,%d), want (1,7)", src, dst)
+	}
+	src, dst = ct.Shift(4, 1, 1)
+	if src != 3 || dst != 5 {
+		t.Errorf("col shift = (%d,%d), want (3,5)", src, dst)
+	}
+}
+
+func TestCartShiftEdges(t *testing.T) {
+	_, c := newComm(t, 4)
+	open := NewCart(c, []int{4}, nil)
+	src, dst := open.Shift(0, 0, 1)
+	if src != -1 || dst != 1 {
+		t.Errorf("open edge shift = (%d,%d)", src, dst)
+	}
+	src, dst = open.Shift(3, 0, 1)
+	if src != 2 || dst != -1 {
+		t.Errorf("open end shift = (%d,%d)", src, dst)
+	}
+	_, c2 := newComm(t, 4)
+	ring := NewCart(c2, []int{4}, []bool{true})
+	src, dst = ring.Shift(0, 0, 1)
+	if src != 3 || dst != 1 {
+		t.Errorf("periodic shift = (%d,%d), want (3,1)", src, dst)
+	}
+}
+
+func TestCartNeighbors(t *testing.T) {
+	_, c := newComm(t, 9)
+	ct := NewCart(c, []int{3, 3}, nil)
+	n := ct.Neighbors(4)
+	if len(n) != 4 {
+		t.Errorf("centre has %d neighbours, want 4: %v", len(n), n)
+	}
+	n = ct.Neighbors(0)
+	if len(n) != 2 {
+		t.Errorf("corner has %d neighbours, want 2: %v", len(n), n)
+	}
+}
+
+func TestCartPanics(t *testing.T) {
+	_, c := newComm(t, 4)
+	for name, fn := range map[string]func(){
+		"empty dims": func() { NewCart(c, nil, nil) },
+		"wrong prod": func() { NewCart(c, []int{3}, nil) },
+		"zero dim":   func() { NewCart(c, []int{0, 4}, nil) },
+		"bad period": func() { NewCart(c, []int{4}, []bool{true, false}) },
+		"bad coords": func() { NewCart(c, []int{4}, nil).Rank([]int{9}) },
+		"bad dims":   func() { NewCart(c, []int{4}, nil).Rank([]int{1, 1}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: Coords/Rank are inverse bijections on arbitrary 3D grids.
+func TestCartBijectionProperty(t *testing.T) {
+	prop := func(aRaw, bRaw, cRaw uint8) bool {
+		a, b, cc := int(aRaw%3)+1, int(bRaw%3)+1, int(cRaw%3)+1
+		_, comm := newComm(t, a*b*cc)
+		ct := NewCart(comm, []int{a, b, cc}, nil)
+		seen := map[int]bool{}
+		for r := 0; r < a*b*cc; r++ {
+			if ct.Rank(ct.Coords(r)) != r {
+				return false
+			}
+			seen[r] = true
+		}
+		return len(seen) == a*b*cc
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGraphNeighborExchange(t *testing.T) {
+	eng, c := newComm(t, 4)
+	// Ring graph.
+	edges := [][]int{{1, 3}, {2, 0}, {3, 1}, {0, 2}}
+	g := NewGraph(c, edges)
+	data := make([][][]float64, 4)
+	for r := range data {
+		data[r] = [][]float64{{float64(r*10 + edges[r][0])}, {float64(r*10 + edges[r][1])}}
+	}
+	var in [][]Message
+	g.NeighborExchange(data, func(got [][]Message) { in = got })
+	eng.RunUntilIdle()
+	if in == nil {
+		t.Fatal("exchange never completed")
+	}
+	// Rank 0's first neighbour is 1; rank 1 sent 0 its second entry
+	// (data[1][1] = 10*1+0 = 10).
+	if in[0][0].Source != 1 || in[0][0].Data[0] != 10 {
+		t.Errorf("in[0][0] = %+v", in[0][0])
+	}
+}
+
+func TestGraphPanics(t *testing.T) {
+	_, c := newComm(t, 2)
+	for name, fn := range map[string]func(){
+		"wrong len": func() { NewGraph(c, [][]int{{1}}) },
+		"bad edge":  func() { NewGraph(c, [][]int{{5}, {0}}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestGraphEmptyExchange(t *testing.T) {
+	_, c := newComm(t, 2)
+	g := NewGraph(c, [][]int{{}, {}})
+	done := false
+	g.NeighborExchange([][][]float64{{}, {}}, func([][]Message) { done = true })
+	if !done {
+		t.Error("empty exchange did not complete immediately")
+	}
+}

@@ -1,0 +1,101 @@
+package mpi
+
+import "ecoscale/internal/sim"
+
+// Additional MPI-3 collectives: scatter, gather and allgather, built on
+// the same binomial/flat structures as the core set. Used by the
+// hierarchical applications for distributing partition data (Fig. 1)
+// and collecting results.
+
+// Scatter sends chunk[i] from root to rank i; done receives the per-rank
+// chunks as delivered (root's own chunk arrives immediately).
+func (c *Comm) Scatter(root int, chunks [][]float64, done func(perRank [][]float64)) {
+	c.checkRank(root)
+	p := len(c.ranks)
+	if len(chunks) != p {
+		panic("mpi: scatter needs one chunk per rank")
+	}
+	out := make([][]float64, p)
+	out[root] = append([]float64(nil), chunks[root]...)
+	if p == 1 {
+		if done != nil {
+			done(out)
+		}
+		return
+	}
+	wg := sim.NewWaitGroup(c.net.Engine(), p-1)
+	for r := 0; r < p; r++ {
+		if r == root {
+			continue
+		}
+		r := r
+		c.Recv(r, root, collectiveTag-500, func(m Message) {
+			out[r] = m.Data
+			wg.DoneOne()
+		})
+		c.Send(root, r, collectiveTag-500, chunks[r], nil)
+	}
+	wg.Wait(func() {
+		if done != nil {
+			done(out)
+		}
+	})
+}
+
+// Gather collects contrib[r] from every rank at root; done receives the
+// ordered list.
+func (c *Comm) Gather(root int, contrib [][]float64, done func(at [][]float64)) {
+	c.checkRank(root)
+	p := len(c.ranks)
+	if len(contrib) != p {
+		panic("mpi: gather needs one contribution per rank")
+	}
+	out := make([][]float64, p)
+	out[root] = append([]float64(nil), contrib[root]...)
+	if p == 1 {
+		if done != nil {
+			done(out)
+		}
+		return
+	}
+	wg := sim.NewWaitGroup(c.net.Engine(), p-1)
+	for r := 0; r < p; r++ {
+		if r == root {
+			continue
+		}
+		r := r
+		c.Recv(root, r, collectiveTag-600, func(m Message) {
+			out[r] = m.Data
+			wg.DoneOne()
+		})
+		c.Send(r, root, collectiveTag-600, contrib[r], nil)
+	}
+	wg.Wait(func() {
+		if done != nil {
+			done(out)
+		}
+	})
+}
+
+// Allgather distributes every rank's contribution to every rank:
+// Gather at rank 0 followed by a broadcast of the concatenation; done
+// receives, per rank, the ordered concatenation of all contributions.
+func (c *Comm) Allgather(contrib [][]float64, done func(perRank [][]float64)) {
+	p := len(c.ranks)
+	if len(contrib) != p {
+		panic("mpi: allgather needs one contribution per rank")
+	}
+	width := len(contrib[0])
+	for _, row := range contrib {
+		if len(row) != width {
+			panic("mpi: ragged allgather contributions")
+		}
+	}
+	c.Gather(0, contrib, func(at [][]float64) {
+		flat := make([]float64, 0, p*width)
+		for _, row := range at {
+			flat = append(flat, row...)
+		}
+		c.Bcast(0, flat, done)
+	})
+}

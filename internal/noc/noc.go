@@ -1,0 +1,375 @@
+// Package noc models the multi-layer interconnect of the ECOSCALE
+// architecture (Fig. 3): an L0 interconnect inside each Worker, an L1
+// interconnect joining the Workers of a Compute Node, and higher layers
+// joining Compute Nodes, chassis and cabinets. It carries the transaction
+// types the paper requires of the UNIMEM fabric — "load and store
+// commands, DMA operations, interrupts, and synchronization between the
+// Workers" (§4.1) — with per-level bandwidth, per-hop latency, and link
+// contention, and charges flit-hop energy to a Meter.
+package noc
+
+import (
+	"fmt"
+
+	"ecoscale/internal/energy"
+	"ecoscale/internal/sim"
+	"ecoscale/internal/topo"
+	"ecoscale/internal/trace"
+)
+
+// Kind classifies a transaction on the interconnect.
+type Kind int
+
+// Transaction kinds, per §4.1.
+const (
+	Load Kind = iota
+	Store
+	DMA
+	Interrupt
+	Sync
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Load:
+		return "load"
+	case Store:
+		return "store"
+	case DMA:
+		return "dma"
+	case Interrupt:
+		return "interrupt"
+	case Sync:
+		return "sync"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// FlitBytes is the flit size used for energy accounting.
+const FlitBytes = 16
+
+// LevelConfig describes one interconnect layer.
+type LevelConfig struct {
+	// BytesPerNs is the serialization bandwidth of one link at this level.
+	BytesPerNs float64
+	// HopLatency is the router/arbiter latency added per hop at this
+	// level, independent of message size.
+	HopLatency sim.Time
+	// OffChip marks levels whose flits cost Link energy rather than
+	// on-chip NoC-hop energy.
+	OffChip bool
+}
+
+// Config configures a Network: one LevelConfig per tree level above the
+// leaves (index 0 = the L0/worker port level).
+type Config struct {
+	Levels []LevelConfig
+	// LinkCapacity is how many messages a single link serializes
+	// concurrently (ports per link); 1 models a classic shared link.
+	LinkCapacity int
+}
+
+// DefaultConfig returns a configuration for a tree with the given number
+// of link levels (tree.MaxHops()): fast wide links on chip, slower and
+// higher-latency links as the hierarchy ascends, calibrated to 2016-era
+// AXI/CCI on chip and serial links between nodes.
+func DefaultConfig(levels int) Config {
+	cfg := Config{LinkCapacity: 1}
+	for l := 0; l < levels; l++ {
+		lc := LevelConfig{}
+		switch {
+		case l == 0: // L0: inside the Worker (CCI-class)
+			lc.BytesPerNs = 32
+			lc.HopLatency = 15 * sim.Nanosecond
+		case l == 1: // L1: between Workers of a Compute Node
+			lc.BytesPerNs = 16
+			lc.HopLatency = 60 * sim.Nanosecond
+			lc.OffChip = true
+		default: // higher layers: inter-node serial links
+			lc.BytesPerNs = 8
+			lc.HopLatency = sim.Time(200*(l-1)) * sim.Nanosecond
+			lc.OffChip = true
+		}
+		cfg.Levels = append(cfg.Levels, lc)
+	}
+	return cfg
+}
+
+// Network is the interconnect instance over a topology.
+type Network struct {
+	eng   *sim.Engine
+	topo  topo.Topology
+	tree  *topo.Tree // non-nil when the topology is a tree (enables per-group links)
+	cfg   Config
+	meter *energy.Meter
+	reg   *trace.Registry
+
+	// links[level][group][dir] with dir 0=up, 1=down.
+	links map[linkKey]*sim.Resource
+}
+
+type linkKey struct {
+	level int
+	group int
+	dir   int
+}
+
+// NewNetwork builds a network over t. When t is a *topo.Tree, each tree
+// group gets its own up/down link pair so contention is localized the way
+// Fig. 3's multi-layer interconnect implies; for other topologies a
+// uniform per-hop model is used.
+func NewNetwork(eng *sim.Engine, t topo.Topology, cfg Config, meter *energy.Meter, reg *trace.Registry) *Network {
+	if len(cfg.Levels) < t.MaxHops() {
+		panic(fmt.Sprintf("noc: config has %d levels, topology needs %d", len(cfg.Levels), t.MaxHops()))
+	}
+	if cfg.LinkCapacity <= 0 {
+		cfg.LinkCapacity = 1
+	}
+	n := &Network{eng: eng, topo: t, cfg: cfg, meter: meter, reg: reg, links: map[linkKey]*sim.Resource{}}
+	if tree, ok := t.(*topo.Tree); ok {
+		n.tree = tree
+	}
+	return n
+}
+
+// Engine returns the simulation engine the network runs on.
+func (n *Network) Engine() *sim.Engine { return n.eng }
+
+// Topology returns the network's topology.
+func (n *Network) Topology() topo.Topology { return n.topo }
+
+func (n *Network) link(level, group, dir int) *sim.Resource {
+	k := linkKey{level, group, dir}
+	r, ok := n.links[k]
+	if !ok {
+		r = sim.NewResource(n.eng, fmt.Sprintf("link-l%d-g%d-d%d", level, group, dir), n.cfg.LinkCapacity)
+		n.links[k] = r
+	}
+	return r
+}
+
+// pathLinks returns the ordered links a src→dst message traverses, with
+// the level of each link (for serialization bandwidth).
+func (n *Network) pathLinks(src, dst int) []linkLevel {
+	if src == dst {
+		return nil
+	}
+	if n.tree == nil {
+		// Uniform model: HopDistance anonymous links, contention-free.
+		return nil
+	}
+	lca := n.tree.LCALevel(src, dst)
+	var path []linkLevel
+	for l := 0; l < lca; l++ {
+		path = append(path, linkLevel{link: n.link(l, n.tree.GroupOf(l, src), 0), level: l})
+	}
+	for l := lca - 1; l >= 0; l-- {
+		path = append(path, linkLevel{link: n.link(l, n.tree.GroupOf(l, dst), 1), level: l})
+	}
+	return path
+}
+
+type linkLevel struct {
+	link  *sim.Resource
+	level int
+}
+
+// serialization returns the time to push size bytes through a level link.
+func (n *Network) serialization(level, size int) sim.Time {
+	bw := n.cfg.Levels[level].BytesPerNs
+	ns := float64(size) / bw
+	return sim.Time(ns * float64(sim.Nanosecond))
+}
+
+// Latency returns the zero-contention latency of a size-byte message from
+// src to dst: per-hop router latency plus per-link serialization
+// (store-and-forward at each level boundary).
+func (n *Network) Latency(src, dst, size int) sim.Time {
+	if src == dst {
+		return 0
+	}
+	var total sim.Time
+	if n.tree != nil {
+		lca := n.tree.LCALevel(src, dst)
+		for l := 0; l < lca; l++ {
+			lc := n.cfg.Levels[l]
+			total += 2 * (lc.HopLatency + n.serialization(l, size)) // up and down
+		}
+		return total
+	}
+	hops := n.topo.HopDistance(src, dst)
+	for h := 0; h < hops; h++ {
+		l := h
+		if l >= len(n.cfg.Levels) {
+			l = len(n.cfg.Levels) - 1
+		}
+		total += n.cfg.Levels[l].HopLatency + n.serialization(l, size)
+	}
+	return total
+}
+
+// Send delivers a one-way message of size bytes from src to dst, calling
+// done at delivery time. Contention on shared links delays delivery. A
+// self-send completes immediately in the current event.
+func (n *Network) Send(src, dst, size int, kind Kind, done func()) {
+	n.count(kind, src, dst, size)
+	if src == dst {
+		if done != nil {
+			done()
+		}
+		return
+	}
+	path := n.pathLinks(src, dst)
+	if path == nil {
+		// Non-tree topology: analytic latency, no contention modelling.
+		n.eng.After(n.Latency(src, dst, size), func() {
+			if done != nil {
+				done()
+			}
+		})
+		return
+	}
+	var step func(i int)
+	step = func(i int) {
+		if i == len(path) {
+			if done != nil {
+				done()
+			}
+			return
+		}
+		pl := path[i]
+		hold := n.cfg.Levels[pl.level].HopLatency + n.serialization(pl.level, size)
+		pl.link.Use(hold, func() { step(i + 1) })
+	}
+	step(0)
+}
+
+// RoundTrip models a request/response pair (e.g. a remote load): a
+// reqSize-byte request from src to dst followed by a respSize-byte
+// response back, calling done when the response arrives.
+func (n *Network) RoundTrip(src, dst, reqSize, respSize int, kind Kind, done func()) {
+	n.Send(src, dst, reqSize, kind, func() {
+		n.Send(dst, src, respSize, kind, done)
+	})
+}
+
+func (n *Network) count(kind Kind, src, dst, size int) {
+	if n.reg != nil {
+		n.reg.Counter("noc.msgs." + kind.String()).Inc()
+		n.reg.Counter("noc.bytes").Add(uint64(size))
+	}
+	hops := n.topo.HopDistance(src, dst)
+	if n.reg != nil && hops > 0 {
+		n.reg.Counter("noc.hops").Add(uint64(hops))
+		n.reg.Stat("noc.hopdist").Observe(float64(hops))
+	}
+	if n.meter == nil || hops == 0 {
+		return
+	}
+	flits := (size + FlitBytes - 1) / FlitBytes
+	if flits == 0 {
+		flits = 1
+	}
+	if n.tree != nil {
+		lca := n.tree.LCALevel(src, dst)
+		for l := 0; l < lca; l++ {
+			per := n.meter.Model.NoCHopPerFlit
+			cat := "noc"
+			if n.cfg.Levels[l].OffChip {
+				per = n.meter.Model.LinkPerFlit
+				cat = "link"
+			}
+			n.meter.Charge(cat, 2*energy.Joules(flits)*per)
+		}
+		return
+	}
+	n.meter.Charge("noc", energy.Joules(hops*flits)*n.meter.Model.NoCHopPerFlit)
+}
+
+// DMAConfig models a descriptor-based DMA engine: the paper argues DMA
+// "operations ... are not efficient for small data transfers such as
+// messages to synchronize remote threads" (§4.1) because of exactly these
+// fixed costs.
+type DMAConfig struct {
+	// Setup is the software cost of building the descriptor and writing
+	// the doorbell before any data moves.
+	Setup sim.Time
+	// Completion is the interrupt/poll cost after the data lands.
+	Completion sim.Time
+	// ChunkBytes is the largest burst a single DMA packet carries.
+	ChunkBytes int
+}
+
+// DefaultDMAConfig returns a descriptor-DMA cost model (couple of µs of
+// setup + completion, 4 KiB bursts).
+func DefaultDMAConfig() DMAConfig {
+	return DMAConfig{
+		Setup:      1200 * sim.Nanosecond,
+		Completion: 800 * sim.Nanosecond,
+		ChunkBytes: 4096,
+	}
+}
+
+// DMATransfer moves size bytes from src to dst through the DMA engine:
+// fixed setup, chunked pipelined bursts, fixed completion.
+func (n *Network) DMATransfer(src, dst, size int, cfg DMAConfig, done func()) {
+	if cfg.ChunkBytes <= 0 {
+		cfg.ChunkBytes = 4096
+	}
+	n.eng.After(cfg.Setup, func() {
+		remaining := size
+		var sendNext func()
+		sendNext = func() {
+			if remaining <= 0 {
+				n.eng.After(cfg.Completion, func() {
+					if done != nil {
+						done()
+					}
+				})
+				return
+			}
+			chunk := remaining
+			if chunk > cfg.ChunkBytes {
+				chunk = cfg.ChunkBytes
+			}
+			remaining -= chunk
+			n.Send(src, dst, chunk, DMA, sendNext)
+		}
+		sendNext()
+	})
+}
+
+// LoadStoreTransfer moves size bytes using pipelined cache-line-sized
+// stores (the UNIMEM direct load/store path): no setup cost, but each
+// line is its own transaction. window lines may be in flight at once
+// (write-combining depth); done runs when the last line lands.
+func (n *Network) LoadStoreTransfer(src, dst, size, window int, done func()) {
+	const line = 64
+	if window <= 0 {
+		window = 1
+	}
+	lines := (size + line - 1) / line
+	if lines == 0 {
+		lines = 1
+	}
+	wg := sim.NewWaitGroup(n.eng, lines)
+	inFlight := sim.NewResource(n.eng, "ls-window", window)
+	for i := 0; i < lines; i++ {
+		sz := line
+		if i == lines-1 && size%line != 0 && size > 0 {
+			sz = size % line
+		}
+		inFlight.Acquire(func() {
+			n.Send(src, dst, sz, Store, func() {
+				inFlight.Release()
+				wg.DoneOne()
+			})
+		})
+	}
+	wg.Wait(func() {
+		if done != nil {
+			done()
+		}
+	})
+}

@@ -1,0 +1,256 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ecoscale/internal/sim"
+)
+
+func TestRegressionExactLinear(t *testing.T) {
+	// y = 3x0 - 2x1 + 7 recovered exactly from noiseless data.
+	var x [][]float64
+	var y []float64
+	rng := sim.NewRNG(1)
+	for i := 0; i < 50; i++ {
+		a, b := rng.Float64()*10, rng.Float64()*10
+		x = append(x, []float64{a, b})
+		y = append(y, 3*a-2*b+7)
+	}
+	var r Regression
+	if err := r.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.W[0]-3) > 1e-6 || math.Abs(r.W[1]+2) > 1e-6 || math.Abs(r.B-7) > 1e-6 {
+		t.Errorf("W=%v B=%v, want [3 -2] 7", r.W, r.B)
+	}
+	if r2 := r.R2(x, y); r2 < 0.999999 {
+		t.Errorf("R2 = %v, want ~1", r2)
+	}
+	if p := r.Predict([]float64{1, 1}); math.Abs(p-8) > 1e-6 {
+		t.Errorf("Predict(1,1) = %v, want 8", p)
+	}
+}
+
+func TestRegressionNoisy(t *testing.T) {
+	rng := sim.NewRNG(2)
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 500; i++ {
+		a := rng.Float64() * 100
+		x = append(x, []float64{a})
+		y = append(y, 5*a+10+rng.NormFloat64()*2)
+	}
+	var r Regression
+	if err := r.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.W[0]-5) > 0.1 || math.Abs(r.B-10) > 2 {
+		t.Errorf("W=%v B=%v, want ~[5] ~10", r.W, r.B)
+	}
+	if r2 := r.R2(x, y); r2 < 0.99 {
+		t.Errorf("R2 = %v", r2)
+	}
+}
+
+func TestRidgeShrinks(t *testing.T) {
+	x := [][]float64{{1}, {2}, {3}, {4}}
+	y := []float64{2, 4, 6, 8}
+	var ols, ridge Regression
+	ridge.Lambda = 100
+	if err := ols.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if err := ridge.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ridge.W[0]) >= math.Abs(ols.W[0]) {
+		t.Errorf("ridge |w|=%v should shrink below OLS |w|=%v", ridge.W[0], ols.W[0])
+	}
+}
+
+func TestRegressionErrors(t *testing.T) {
+	var r Regression
+	if err := r.Fit(nil, nil); err == nil {
+		t.Error("empty fit should error")
+	}
+	if err := r.Fit([][]float64{{1}, {2, 3}}, []float64{1, 2}); err == nil {
+		t.Error("ragged rows should error")
+	}
+	if err := r.Fit([][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Error("mismatched y should error")
+	}
+	// Collinear features → singular.
+	x := [][]float64{{1, 2}, {2, 4}, {3, 6}}
+	if err := r.Fit(x, []float64{1, 2, 3}); err == nil {
+		t.Error("collinear features should error")
+	}
+}
+
+func TestPredictBeforeFitPanics(t *testing.T) {
+	var r Regression
+	defer func() {
+		if recover() == nil {
+			t.Error("Predict before Fit did not panic")
+		}
+	}()
+	r.Predict([]float64{1})
+}
+
+func TestPredictDimPanics(t *testing.T) {
+	var r Regression
+	if err := r.Fit([][]float64{{1}, {2}}, []float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("dim mismatch did not panic")
+		}
+	}()
+	r.Predict([]float64{1, 2})
+}
+
+// Property: regression on exactly-linear data predicts within tolerance
+// for arbitrary in-range queries.
+func TestRegressionProperty(t *testing.T) {
+	rng := sim.NewRNG(3)
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 40; i++ {
+		a, b := rng.Float64()*10, rng.Float64()*10
+		x = append(x, []float64{a, b})
+		y = append(y, 1.5*a+0.5*b-3)
+	}
+	var r Regression
+	if err := r.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	prop := func(aRaw, bRaw uint16) bool {
+		a := float64(aRaw%1000) / 100
+		b := float64(bRaw%1000) / 100
+		return math.Abs(r.Predict([]float64{a, b})-(1.5*a+0.5*b-3)) < 1e-6
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPCARecoverDirection(t *testing.T) {
+	// Points on a line y=2x plus tiny noise: first PC ≈ (1,2)/√5.
+	rng := sim.NewRNG(4)
+	var x [][]float64
+	for i := 0; i < 300; i++ {
+		a := rng.NormFloat64()
+		x = append(x, []float64{a + 0.01*rng.NormFloat64(), 2*a + 0.01*rng.NormFloat64()})
+	}
+	p, err := FitPCA(x, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := p.Components[0]
+	want := []float64{1 / math.Sqrt(5), 2 / math.Sqrt(5)}
+	dot := c[0]*want[0] + c[1]*want[1]
+	if math.Abs(math.Abs(dot)-1) > 1e-3 {
+		t.Errorf("first PC %v not aligned with (1,2): |dot|=%v", c, math.Abs(dot))
+	}
+	if len(p.Variances) >= 2 && p.Variances[1] > p.Variances[0]*0.01 {
+		t.Errorf("second PC variance %v should be tiny vs %v", p.Variances[1], p.Variances[0])
+	}
+}
+
+func TestPCAProject(t *testing.T) {
+	x := [][]float64{{0, 0}, {1, 1}, {2, 2}, {3, 3}}
+	p, err := FitPCA(x, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Projection of the mean is 0; points spread symmetrically.
+	proj := p.Project([]float64{1.5, 1.5})
+	if math.Abs(proj[0]) > 1e-9 {
+		t.Errorf("mean projects to %v, want 0", proj[0])
+	}
+	a := p.Project([]float64{0, 0})[0]
+	b := p.Project([]float64{3, 3})[0]
+	if math.Abs(a+b) > 1e-9 {
+		t.Errorf("symmetric points project to %v, %v", a, b)
+	}
+}
+
+func TestPCAErrors(t *testing.T) {
+	if _, err := FitPCA(nil, 1); err == nil {
+		t.Error("empty PCA should error")
+	}
+	if _, err := FitPCA([][]float64{{1, 2}}, 3); err == nil {
+		t.Error("k > d should error")
+	}
+	if _, err := FitPCA([][]float64{{1}, {1}, {1}}, 1); err == nil {
+		t.Error("zero-variance data should error")
+	}
+	if _, err := FitPCA([][]float64{{1, 2}, {3}}, 1); err == nil {
+		t.Error("ragged rows should error")
+	}
+}
+
+func TestSVMSeparable(t *testing.T) {
+	// Separable: class +1 when x0 + x1 > 10.
+	rng := sim.NewRNG(5)
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 400; i++ {
+		a, b := rng.Float64()*10, rng.Float64()*10
+		x = append(x, []float64{a, b})
+		if a+b > 10 {
+			y = append(y, 1)
+		} else {
+			y = append(y, -1)
+		}
+	}
+	var s SVM
+	if err := s.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i := range x {
+		if s.Predict(x[i]) == y[i] {
+			correct++
+		}
+	}
+	acc := float64(correct) / float64(len(x))
+	if acc < 0.95 {
+		t.Errorf("training accuracy %.2f too low for separable data", acc)
+	}
+	if s.Predict([]float64{9, 9}) != 1 || s.Predict([]float64{1, 1}) != -1 {
+		t.Error("obvious points misclassified")
+	}
+}
+
+func TestSVMErrors(t *testing.T) {
+	var s SVM
+	if err := s.Fit(nil, nil); err == nil {
+		t.Error("empty SVM fit should error")
+	}
+	if err := s.Fit([][]float64{{1}}, []float64{0.5}); err == nil {
+		t.Error("non ±1 labels should error")
+	}
+	if err := s.Fit([][]float64{{1}, {2, 3}}, []float64{1, -1}); err == nil {
+		t.Error("ragged SVM rows should error")
+	}
+}
+
+func TestSolveKnownSystem(t *testing.T) {
+	// 2x + y = 5; x - y = 1 → x=2, y=1.
+	x, err := solve([][]float64{{2, 1}, {1, -1}}, []float64{5, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-2) > 1e-12 || math.Abs(x[1]-1) > 1e-12 {
+		t.Errorf("solve = %v, want [2 1]", x)
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	if _, err := solve([][]float64{{1, 1}, {2, 2}}, []float64{1, 2}); err == nil {
+		t.Error("singular system should error")
+	}
+}

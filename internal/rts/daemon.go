@@ -1,0 +1,115 @@
+package rts
+
+import (
+	"sort"
+
+	"ecoscale/internal/accel"
+	"ecoscale/internal/hls"
+	"ecoscale/internal/sim"
+	"ecoscale/internal/unilogic"
+)
+
+// Daemon is the runtime scheduler/daemon of §4.2: it "will read
+// periodically the system status and the History file in order to decide
+// at runtime what functions should be loaded on the reconfiguration
+// block". Each tick it ranks kernels by accumulated execution time in
+// the merged history and deploys the hottest not-yet-deployed kernels to
+// the least-loaded fabrics.
+type Daemon struct {
+	Domain *unilogic.Domain
+	// Library maps kernel name → synthesized implementation available
+	// for loading (the accelerator module library of §4.3).
+	Library map[string]*hls.Impl
+	// Period is the tick interval.
+	Period sim.Time
+	// MaxPerTick bounds reconfigurations per tick.
+	MaxPerTick int
+
+	scheds  []*Scheduler
+	eng     *sim.Engine
+	Deploys uint64
+	running bool
+}
+
+// NewDaemon creates a reconfiguration daemon over the cluster's
+// schedulers.
+func NewDaemon(domain *unilogic.Domain, scheds []*Scheduler, eng *sim.Engine) *Daemon {
+	return &Daemon{
+		Domain: domain, Library: map[string]*hls.Impl{},
+		Period: 100 * sim.Microsecond, MaxPerTick: 1,
+		scheds: scheds, eng: eng,
+	}
+}
+
+// Register adds an implementation to the loadable library.
+func (d *Daemon) Register(im *hls.Impl) { d.Library[im.Kernel.Name] = im }
+
+// Start schedules periodic ticks until the engine drains or Stop.
+func (d *Daemon) Start() {
+	d.running = true
+	var tick func()
+	tick = func() {
+		if !d.running {
+			return
+		}
+		d.Tick()
+		d.eng.After(d.Period, tick)
+	}
+	d.eng.After(d.Period, tick)
+}
+
+// Stop halts periodic ticking.
+func (d *Daemon) Stop() { d.running = false }
+
+// Tick performs one decision round; it returns how many deployments were
+// initiated.
+func (d *Daemon) Tick() int {
+	type hot struct {
+		kernel string
+		total  sim.Time
+	}
+	var hots []hot
+	for name := range d.Library {
+		if len(d.Domain.Instances(name)) > 0 {
+			continue // already in hardware
+		}
+		var total sim.Time
+		for _, s := range d.scheds {
+			total += s.History.TotalTime(name)
+		}
+		if total > 0 {
+			hots = append(hots, hot{name, total})
+		}
+	}
+	sort.Slice(hots, func(i, j int) bool {
+		if hots[i].total != hots[j].total {
+			return hots[i].total > hots[j].total
+		}
+		return hots[i].kernel < hots[j].kernel
+	})
+	n := 0
+	for _, h := range hots {
+		if n >= d.MaxPerTick {
+			break
+		}
+		w := d.coolestWorker()
+		im := d.Library[h.kernel]
+		d.Deploys++
+		d.Domain.Deploy(w, im, func(*accel.Instance, error) {})
+		n++
+	}
+	return n
+}
+
+// coolestWorker picks the fabric with the most free regions (ties to the
+// lowest id).
+func (d *Daemon) coolestWorker() int {
+	best, bestFree := 0, -1
+	for w := range d.scheds {
+		free := d.Domain.Manager(w).Fab.FreeRegions()
+		if free > bestFree {
+			best, bestFree = w, free
+		}
+	}
+	return best
+}

@@ -1,0 +1,119 @@
+package rts
+
+import (
+	"testing"
+)
+
+func TestRecordsCarryEnergy(t *testing.T) {
+	r := newRig(t, 2)
+	s := r.scheds[0]
+	s.Policy = PolicyCPU{}
+	s.Submit(r.task(512), nil)
+	r.eng.RunUntilIdle()
+	if s.History.Len() != 1 {
+		t.Fatal("no record")
+	}
+	// Access via the energy model path: with <4 samples no model, but
+	// the record energy must be positive.
+	h := s.History
+	found := false
+	for _, dev := range []Device{DeviceCPU, DeviceHW} {
+		for i := 0; i < h.Samples("scale", dev); i++ {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no samples")
+	}
+	if e := s.taskEnergy(DeviceCPU, r.task(512)); e <= 0 {
+		t.Error("CPU task energy not positive")
+	}
+	if e := s.taskEnergy(DeviceHW, r.task(512)); e <= 0 {
+		t.Error("HW task energy not positive")
+	}
+}
+
+func TestTaskEnergyHWBelowCPUForDatapathWork(t *testing.T) {
+	r := newRig(t, 2)
+	s := r.scheds[0]
+	tk := r.task(4096)
+	// Large compute, small data: FPGA datapath energy must win.
+	tk.Reads = nil
+	tk.Writes = nil
+	if hw, cpu := s.taskEnergy(DeviceHW, tk), s.taskEnergy(DeviceCPU, tk); hw >= cpu {
+		t.Errorf("HW energy (%v) should be below CPU (%v) for pure datapath work", hw, cpu)
+	}
+}
+
+func TestEnergyModelTrains(t *testing.T) {
+	r := newRig(t, 2)
+	s := r.scheds[0]
+	s.Policy = PolicyCPU{}
+	for _, n := range []int{64, 128, 256, 512, 1024} {
+		s.Submit(r.task(n), nil)
+	}
+	r.eng.RunUntilIdle()
+	m := s.History.EnergyModel("scale", DeviceCPU)
+	if m == nil {
+		t.Fatal("energy model not trained")
+	}
+	small := m.Predict(r.task(64).Features())
+	large := m.Predict(r.task(4096).Features())
+	if large <= small {
+		t.Errorf("energy model not monotone: %v vs %v", small, large)
+	}
+}
+
+func TestPolicyEDPMixesAndSavesEnergy(t *testing.T) {
+	run := func(p Policy) (total float64, hw uint64) {
+		r := newRig(t, 2)
+		r.deployHW(t, 0)
+		s := r.scheds[0]
+		s.Policy = p
+		var submit func(i int)
+		var energySum float64
+		submit = func(i int) {
+			if i >= 30 {
+				return
+			}
+			n := 4096
+			if i%2 == 0 {
+				n = 32
+			}
+			tk := r.task(n)
+			s.Submit(tk, func(d Device, err error) {
+				energySum += float64(s.taskEnergy(d, tk))
+				submit(i + 1)
+			})
+		}
+		submit(0)
+		r.eng.RunUntilIdle()
+		return energySum, s.Executed(DeviceHW)
+	}
+	edpEnergy, edpHW := run(PolicyEDP{})
+	cpuEnergy, _ := run(PolicyCPU{})
+	if edpHW == 0 {
+		t.Error("EDP policy never used hardware")
+	}
+	if edpEnergy >= cpuEnergy {
+		t.Errorf("EDP energy (%v) not below always-CPU (%v)", edpEnergy, cpuEnergy)
+	}
+}
+
+func TestPolicyEDPFallsBackWithoutInstance(t *testing.T) {
+	r := newRig(t, 2)
+	s := r.scheds[0]
+	s.Policy = PolicyEDP{}
+	var dev Device
+	s.Submit(r.task(512), func(d Device, err error) { dev = d })
+	r.eng.RunUntilIdle()
+	if dev != DeviceCPU {
+		t.Error("EDP without instances should run on CPU")
+	}
+}
+
+func TestPolicyEDPName(t *testing.T) {
+	if (PolicyEDP{}).Name() != "edp" {
+		t.Error("name wrong")
+	}
+}

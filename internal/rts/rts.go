@@ -1,0 +1,466 @@
+// Package rts is the ECOSCALE runtime system (§4.2): one scheduler per
+// Worker with a local work queue, an execution-history store, and a work
+// and data distribution algorithm that "decides whether the function will
+// be executed in software or in hardware based on the local status and
+// the status of other Workers in the vicinity". Device selection is
+// driven by input-dependent execution-time models trained on the history
+// (see internal/perfmodel), and a runtime daemon decides "at runtime what
+// functions should be loaded on the reconfiguration block".
+package rts
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ecoscale/internal/accel"
+	"ecoscale/internal/energy"
+	"ecoscale/internal/hls"
+	"ecoscale/internal/perfmodel"
+	"ecoscale/internal/sim"
+	"ecoscale/internal/trace"
+	"ecoscale/internal/unilogic"
+)
+
+// Device identifies where a task ran.
+type Device int
+
+// Devices.
+const (
+	DeviceCPU Device = iota
+	DeviceHW
+)
+
+func (d Device) String() string {
+	if d == DeviceHW {
+		return "hw"
+	}
+	return "cpu"
+}
+
+// Task is one accelerable function call.
+type Task struct {
+	ID     uint64
+	Kernel string
+	// Bindings are the scalar arguments (also the model features).
+	Bindings map[string]float64
+	// Reads/Writes are the UNIMEM spans a hardware call streams.
+	Reads, Writes []accel.Span
+	// SWStats is the dynamic op mix of the software execution, used by
+	// the CPU timing model and as training features.
+	SWStats hls.RunStats
+	// Exec applies the data plane (same function for both devices —
+	// results must match by construction).
+	Exec func() error
+
+	submitted sim.Time
+}
+
+// Features returns the model feature vector: the input-size signals of
+// §4.2 ("correlation between input/output size ... and execution time").
+func (t *Task) Features() []float64 {
+	return []float64{
+		float64(t.SWStats.Ops),
+		float64(t.SWStats.Loads + t.SWStats.Stores),
+	}
+}
+
+// Record is one execution-history entry (the History file of Fig. 5).
+type Record struct {
+	Kernel   string
+	Device   Device
+	Features []float64
+	Duration sim.Time
+	// Energy is the dynamic energy attributed to the task.
+	Energy energy.Joules
+}
+
+// History is the Execution History block: per (kernel, device) samples
+// feeding the runtime models.
+type History struct {
+	records []Record
+	byKey   map[string][]int
+}
+
+// NewHistory returns an empty history.
+func NewHistory() *History {
+	return &History{byKey: map[string][]int{}}
+}
+
+func hkey(kernel string, dev Device) string { return kernel + "/" + dev.String() }
+
+// Add appends a record.
+func (h *History) Add(r Record) {
+	h.records = append(h.records, r)
+	k := hkey(r.Kernel, r.Device)
+	h.byKey[k] = append(h.byKey[k], len(h.records)-1)
+}
+
+// Len returns the total record count.
+func (h *History) Len() int { return len(h.records) }
+
+// Samples returns how many records exist for (kernel, device).
+func (h *History) Samples(kernel string, dev Device) int {
+	return len(h.byKey[hkey(kernel, dev)])
+}
+
+// TotalTime sums the recorded durations for a kernel on both devices.
+func (h *History) TotalTime(kernel string) sim.Time {
+	var t sim.Time
+	for _, r := range h.records {
+		if r.Kernel == kernel {
+			t += r.Duration
+		}
+	}
+	return t
+}
+
+// Model fits a time-prediction regression for (kernel, device). It
+// returns nil when there are too few samples or the fit is degenerate.
+func (h *History) Model(kernel string, dev Device) *perfmodel.Regression {
+	return h.fit(kernel, dev, func(r Record) float64 { return float64(r.Duration) })
+}
+
+// EnergyModel fits an energy-prediction regression for (kernel, device),
+// the power half of the §4.2 "execution time and power" models.
+func (h *History) EnergyModel(kernel string, dev Device) *perfmodel.Regression {
+	return h.fit(kernel, dev, func(r Record) float64 { return float64(r.Energy) })
+}
+
+func (h *History) fit(kernel string, dev Device, y func(Record) float64) *perfmodel.Regression {
+	idx := h.byKey[hkey(kernel, dev)]
+	if len(idx) < 4 {
+		return nil
+	}
+	var xs [][]float64
+	var ys []float64
+	for _, i := range idx {
+		xs = append(xs, h.records[i].Features)
+		ys = append(ys, y(h.records[i]))
+	}
+	reg := &perfmodel.Regression{Lambda: 1e-6}
+	if err := reg.Fit(xs, ys); err != nil {
+		return nil
+	}
+	return reg
+}
+
+// Policy selects the execution device for a task.
+type Policy interface {
+	Name() string
+	// Choose returns the device and, for DeviceHW, whether the decision
+	// is a forced exploration sample.
+	Choose(s *Scheduler, t *Task) Device
+}
+
+// PolicyCPU always runs on the CPU.
+type PolicyCPU struct{}
+
+// Name implements Policy.
+func (PolicyCPU) Name() string { return "always-sw" }
+
+// Choose implements Policy.
+func (PolicyCPU) Choose(*Scheduler, *Task) Device { return DeviceCPU }
+
+// PolicyHW always runs in hardware when an instance exists.
+type PolicyHW struct{}
+
+// Name implements Policy.
+func (PolicyHW) Name() string { return "always-hw" }
+
+// Choose implements Policy.
+func (PolicyHW) Choose(s *Scheduler, t *Task) Device {
+	if len(s.Domain.Instances(t.Kernel)) == 0 {
+		return DeviceCPU
+	}
+	return DeviceHW
+}
+
+// PolicyModel is the §4.2 model-driven policy: predict both devices'
+// times from history and pick the cheaper, exploring (alternating) until
+// both models have enough samples.
+type PolicyModel struct{}
+
+// Name implements Policy.
+func (PolicyModel) Name() string { return "model" }
+
+// Choose implements Policy.
+func (PolicyModel) Choose(s *Scheduler, t *Task) Device {
+	if len(s.Domain.Instances(t.Kernel)) == 0 {
+		return DeviceCPU
+	}
+	mCPU := s.History.Model(t.Kernel, DeviceCPU)
+	mHW := s.History.Model(t.Kernel, DeviceHW)
+	if mCPU == nil || mHW == nil {
+		// Exploration phase: alternate to gather both sample sets.
+		if (s.History.Samples(t.Kernel, DeviceCPU)) <= s.History.Samples(t.Kernel, DeviceHW) {
+			return DeviceCPU
+		}
+		return DeviceHW
+	}
+	f := t.Features()
+	if mHW.Predict(f) < mCPU.Predict(f) {
+		return DeviceHW
+	}
+	return DeviceCPU
+}
+
+// PolicyOracle consults the exact timing models (perfect knowledge) —
+// the upper bound E10 compares against. The hardware side includes the
+// invocation overhead (doorbell, translation, argument streaming) that
+// makes offload a loss for tiny calls.
+type PolicyOracle struct{}
+
+// Name implements Policy.
+func (PolicyOracle) Name() string { return "oracle" }
+
+// Choose implements Policy.
+func (PolicyOracle) Choose(s *Scheduler, t *Task) Device {
+	ins := s.Domain.Instances(t.Kernel)
+	if len(ins) == 0 {
+		return DeviceCPU
+	}
+	hwTime, err := ins[0].Impl.Time(t.Bindings)
+	if err != nil {
+		return DeviceCPU
+	}
+	if hwTime+s.hwCallOverhead(t) < s.CPUModel.Time(t.SWStats) {
+		return DeviceHW
+	}
+	return DeviceCPU
+}
+
+// taskEnergy attributes dynamic energy to a task on a device, using the
+// meter's cost model (defaults when no meter is attached).
+func (s *Scheduler) taskEnergy(dev Device, t *Task) energy.Joules {
+	model := energy.DefaultCostModel()
+	if s.Meter != nil {
+		model = s.Meter.Model
+	}
+	if dev == DeviceHW {
+		bytes := 0
+		for _, sp := range t.Reads {
+			bytes += sp.Size
+		}
+		for _, sp := range t.Writes {
+			bytes += sp.Size
+		}
+		flits := energy.Joules((bytes + 15) / 16)
+		return energy.Joules(t.SWStats.Ops)*model.FPGAOp + flits*model.NoCHopPerFlit
+	}
+	return energy.Joules(t.SWStats.Ops)*model.CPUOp +
+		energy.Joules(t.SWStats.Loads+t.SWStats.Stores)*model.CacheAccess
+}
+
+// PolicyEDP minimizes the predicted energy-delay product using both the
+// time and energy history models — the §4.2 goal of selecting devices by
+// "execution time and energy consumption of tasks on CPUs and
+// reconfigurable systems".
+type PolicyEDP struct{}
+
+// Name implements Policy.
+func (PolicyEDP) Name() string { return "edp" }
+
+// Choose implements Policy.
+func (PolicyEDP) Choose(s *Scheduler, t *Task) Device {
+	if len(s.Domain.Instances(t.Kernel)) == 0 {
+		return DeviceCPU
+	}
+	tCPU := s.History.Model(t.Kernel, DeviceCPU)
+	tHW := s.History.Model(t.Kernel, DeviceHW)
+	eCPU := s.History.EnergyModel(t.Kernel, DeviceCPU)
+	eHW := s.History.EnergyModel(t.Kernel, DeviceHW)
+	if tCPU == nil || tHW == nil || eCPU == nil || eHW == nil {
+		if s.History.Samples(t.Kernel, DeviceCPU) <= s.History.Samples(t.Kernel, DeviceHW) {
+			return DeviceCPU
+		}
+		return DeviceHW
+	}
+	f := t.Features()
+	edpCPU := tCPU.Predict(f) * eCPU.Predict(f)
+	edpHW := tHW.Predict(f) * eHW.Predict(f)
+	if edpHW < edpCPU {
+		return DeviceHW
+	}
+	return DeviceCPU
+}
+
+// hwCallOverhead estimates the fixed plus data-movement cost of one
+// hardware invocation.
+func (s *Scheduler) hwCallOverhead(t *Task) sim.Time {
+	bytes := 0
+	for _, sp := range t.Reads {
+		bytes += sp.Size
+	}
+	for _, sp := range t.Writes {
+		bytes += sp.Size
+	}
+	stream := sim.Time(float64(bytes) / 8.0 * float64(sim.Nanosecond)) // ~8 B/ns effective
+	return s.HWOverhead + stream
+}
+
+// queued pairs a task with its completion callback.
+type queued struct {
+	task *Task
+	done func(Device, error)
+}
+
+// Scheduler is one Worker's runtime scheduler.
+type Scheduler struct {
+	Worker   int
+	Domain   *unilogic.Domain
+	History  *History
+	Policy   Policy
+	CPUModel hls.CPUModel
+	Meter    *energy.Meter
+	// Cores bounds concurrent CPU tasks on this Worker.
+	Cores int
+	// HWInflight bounds concurrent hardware calls issued by this Worker
+	// (the pipelined-sharing window).
+	HWInflight int
+	// HWOverhead is the fixed per-call offload cost the oracle policy
+	// charges (doorbell + translation + control).
+	HWOverhead sim.Time
+	// Flow, when non-nil, records the Fig. 5 layer-interaction trace.
+	Flow *trace.FlowLog
+
+	eng        *sim.Engine
+	queue      []queued
+	cpuRunning int
+	hwRunning  int
+	executed   map[Device]uint64
+	waitTime   sim.Time
+	nextID     uint64
+	idleCb     func() // hook for the work-stealing layer
+}
+
+// NewScheduler creates a Worker's scheduler.
+func NewScheduler(worker int, domain *unilogic.Domain, eng *sim.Engine, meter *energy.Meter) *Scheduler {
+	return &Scheduler{
+		Worker: worker, Domain: domain, History: NewHistory(),
+		Policy: PolicyModel{}, CPUModel: hls.DefaultCPUModel(),
+		Meter: meter, Cores: 4, HWInflight: 4,
+		HWOverhead: 2 * sim.Microsecond, eng: eng,
+		executed: map[Device]uint64{},
+	}
+}
+
+// QueueLen returns the local queue depth — the signal Lazy Scheduling
+// uses to infer system load without remote monitoring.
+func (s *Scheduler) QueueLen() int { return len(s.queue) }
+
+// Outstanding returns queued plus running tasks.
+func (s *Scheduler) Outstanding() int { return len(s.queue) + s.cpuRunning + s.hwRunning }
+
+// Executed returns per-device completed-task counts.
+func (s *Scheduler) Executed(d Device) uint64 { return s.executed[d] }
+
+// MeanWait returns the average queue wait.
+func (s *Scheduler) MeanWait() sim.Time {
+	n := s.executed[DeviceCPU] + s.executed[DeviceHW]
+	if n == 0 {
+		return 0
+	}
+	return s.waitTime / sim.Time(n)
+}
+
+// Submit enqueues a task; done fires on completion with the device used.
+func (s *Scheduler) Submit(t *Task, done func(Device, error)) {
+	t.ID = s.nextID
+	s.nextID++
+	t.submitted = s.eng.Now()
+	s.queue = append(s.queue, queued{t, done})
+	s.pump()
+}
+
+// steal removes the newest queued task for transfer to another Worker.
+func (s *Scheduler) steal() (queued, bool) {
+	if len(s.queue) == 0 {
+		return queued{}, false
+	}
+	q := s.queue[len(s.queue)-1]
+	s.queue = s.queue[:len(s.queue)-1]
+	return q, true
+}
+
+// pump dispatches queued tasks while execution slots are available.
+func (s *Scheduler) pump() {
+	for len(s.queue) > 0 {
+		t := s.queue[0].task
+		dev := s.Policy.Choose(s, t)
+		if dev == DeviceCPU && s.cpuRunning >= s.Cores {
+			return
+		}
+		if dev == DeviceHW && s.hwRunning >= s.HWInflight {
+			return
+		}
+		q := s.queue[0]
+		s.queue = s.queue[1:]
+		s.start(q, dev)
+	}
+}
+
+func (s *Scheduler) start(q queued, dev Device) {
+	t := q.task
+	s.waitTime += s.eng.Now() - t.submitted
+	start := s.eng.Now()
+	s.Flow.Add(int64(start), "runtime", "worker %d: %s(%s) dispatched to %s by policy %s",
+		s.Worker, t.Kernel, fmtBindings(t.Bindings), dev, s.Policy.Name())
+	finish := func(err error) {
+		if dev == DeviceHW {
+			s.hwRunning--
+		} else {
+			s.cpuRunning--
+		}
+		s.executed[dev]++
+		s.History.Add(Record{
+			Kernel: t.Kernel, Device: dev,
+			Features: t.Features(), Duration: s.eng.Now() - start,
+			Energy: s.taskEnergy(dev, t),
+		})
+		s.Flow.Add(int64(s.eng.Now()), "runtime", "worker %d: %s completed on %s (recorded to history)",
+			s.Worker, t.Kernel, dev)
+		if q.done != nil {
+			q.done(dev, err)
+		}
+		s.pump()
+		if s.Outstanding() == 0 && s.idleCb != nil {
+			s.idleCb()
+		}
+	}
+	if dev == DeviceHW {
+		s.hwRunning++
+		s.Domain.Call(s.Worker, t.Kernel, accel.CallSpec{
+			Bindings: t.Bindings, Reads: t.Reads, Writes: t.Writes,
+			Exec: t.Exec, Ops: t.SWStats.Ops,
+		}, finish)
+		return
+	}
+	// CPU path: hold a core for the modelled time, then apply data.
+	s.cpuRunning++
+	s.eng.After(s.CPUModel.Time(t.SWStats), func() {
+		if s.Meter != nil {
+			s.Meter.Charge("cpu", energy.Joules(t.SWStats.Ops)*s.Meter.Model.CPUOp+
+				energy.Joules(t.SWStats.Loads+t.SWStats.Stores)*s.Meter.Model.CacheAccess)
+		}
+		var err error
+		if t.Exec != nil {
+			err = t.Exec()
+		}
+		finish(err)
+	})
+}
+
+// fmtBindings renders scalar bindings compactly and deterministically.
+func fmtBindings(b map[string]float64) string {
+	keys := make([]string, 0, len(b))
+	for k := range b {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s=%g", k, b[k])
+	}
+	return strings.Join(parts, ",")
+}

@@ -1,0 +1,204 @@
+package rts
+
+import (
+	"ecoscale/internal/noc"
+	"ecoscale/internal/sim"
+)
+
+// This file implements the load-distribution layer of §4.2: "To curb the
+// overhead of monitoring remote status, we will implement local work
+// queues per worker and infer (approximately) the status of remote
+// workers via the status of the local queue, using techniques inspired
+// by Lazy Scheduling [9]."
+//
+// Two balancers are provided for the E11 comparison:
+//
+//   - Polling: an idle Worker queries every other Worker's queue depth
+//     (N-1 request/response pairs) and steals from the longest queue —
+//     the "active monitoring" strawman.
+//   - Lazy: an idle Worker probes a single neighbour, round-robin,
+//     trusting its own empty queue as the only load signal — constant
+//     monitoring traffic per idle event.
+
+// BalanceKind selects the work-stealing strategy.
+type BalanceKind int
+
+// Balancer kinds.
+const (
+	// NoBalance disables stealing.
+	NoBalance BalanceKind = iota
+	// Polling queries all Workers before each steal.
+	Polling
+	// Lazy probes one neighbour per idle event.
+	Lazy
+)
+
+func (k BalanceKind) String() string {
+	switch k {
+	case Polling:
+		return "polling"
+	case Lazy:
+		return "lazy"
+	default:
+		return "none"
+	}
+}
+
+// Cluster couples the per-Worker schedulers with a stealing strategy.
+type Cluster struct {
+	Kind       BalanceKind
+	Schedulers []*Scheduler
+
+	net        *noc.Network
+	eng        *sim.Engine
+	ctrlBytes  int
+	nextProbe  []int // per-worker round-robin cursor for Lazy
+	lastVictim []int // per-worker last successful steal source (-1 none)
+
+	StealMsgs  uint64 // monitoring + transfer messages sent
+	Steals     uint64 // successful task migrations
+	FailProbes uint64 // probes that found nothing to steal
+}
+
+// NewCluster wires schedulers into a balancing cluster.
+func NewCluster(kind BalanceKind, scheds []*Scheduler, net *noc.Network) *Cluster {
+	c := &Cluster{
+		Kind: kind, Schedulers: scheds, net: net, eng: net.Engine(),
+		ctrlBytes: 16, nextProbe: make([]int, len(scheds)),
+		lastVictim: make([]int, len(scheds)),
+	}
+	for i := range c.lastVictim {
+		c.lastVictim[i] = -1
+	}
+	for _, s := range scheds {
+		s := s
+		if kind != NoBalance {
+			s.idleCb = func() { c.onIdle(s) }
+		}
+	}
+	return c
+}
+
+// Submit enqueues a task on worker w's scheduler.
+func (c *Cluster) Submit(w int, t *Task, done func(Device, error)) {
+	c.Schedulers[w].Submit(t, done)
+}
+
+// onIdle fires when a Worker drains completely.
+func (c *Cluster) onIdle(s *Scheduler) {
+	switch c.Kind {
+	case Polling:
+		c.pollAll(s)
+	case Lazy:
+		c.probeOne(s)
+	}
+}
+
+// pollAll queries every other Worker's queue depth, then steals from the
+// deepest.
+func (c *Cluster) pollAll(thief *Scheduler) {
+	n := len(c.Schedulers)
+	if n < 2 {
+		return
+	}
+	type depth struct{ w, d int }
+	depths := make([]depth, 0, n-1)
+	wg := sim.NewWaitGroup(c.eng, n-1)
+	for w := range c.Schedulers {
+		if w == thief.Worker {
+			continue
+		}
+		w := w
+		c.StealMsgs += 2 // status request + response
+		c.net.RoundTrip(thief.Worker, w, c.ctrlBytes, c.ctrlBytes, noc.Sync, func() {
+			depths = append(depths, depth{w, c.Schedulers[w].QueueLen()})
+			wg.DoneOne()
+		})
+	}
+	wg.Wait(func() {
+		if thief.Outstanding() > 0 {
+			return // work arrived while polling
+		}
+		best := -1
+		bestDepth := 0
+		for _, d := range depths {
+			if d.d > bestDepth || (d.d == bestDepth && d.d > 0 && (best == -1 || d.w < best)) {
+				best, bestDepth = d.w, d.d
+			}
+		}
+		if best < 0 || bestDepth == 0 {
+			c.FailProbes++
+			return
+		}
+		c.transfer(c.Schedulers[best], thief)
+	})
+}
+
+// probeOne asks a single neighbour (round-robin) for work; on a failed
+// probe it walks on to the next neighbour, but gives up after a small
+// constant number of attempts — the thief trusts that if its immediate
+// ring is empty the system is not worth polling further, which is the
+// constant-overhead bet of Lazy Scheduling. Polling, by contrast, pays
+// O(P) messages on every idle event.
+func (c *Cluster) probeOne(thief *Scheduler) {
+	attempts := 4
+	if n := len(c.Schedulers) - 1; attempts > n {
+		attempts = n
+	}
+	c.probeNext(thief, attempts)
+}
+
+func (c *Cluster) probeNext(thief *Scheduler, attempts int) {
+	n := len(c.Schedulers)
+	if n < 2 || attempts <= 0 {
+		return
+	}
+	// Prefer the last Worker that had surplus work; fall back to the
+	// round-robin ring.
+	victim := c.lastVictim[thief.Worker]
+	if victim < 0 || victim == thief.Worker {
+		v := c.nextProbe[thief.Worker]
+		victim = v % n
+		if victim == thief.Worker {
+			victim = (victim + 1) % n
+		}
+		c.nextProbe[thief.Worker] = victim + 1
+	}
+	c.StealMsgs += 2
+	c.net.RoundTrip(thief.Worker, victim, c.ctrlBytes, c.ctrlBytes, noc.Sync, func() {
+		if thief.Outstanding() > 0 {
+			return
+		}
+		if c.Schedulers[victim].QueueLen() == 0 {
+			c.FailProbes++
+			c.lastVictim[thief.Worker] = -1
+			c.probeNext(thief, attempts-1)
+			return
+		}
+		c.lastVictim[thief.Worker] = victim
+		c.transfer(c.Schedulers[victim], thief)
+	})
+}
+
+// transfer moves one task from victim to thief over the interconnect.
+func (c *Cluster) transfer(victim, thief *Scheduler) {
+	q, ok := victim.steal()
+	if !ok {
+		c.FailProbes++
+		return
+	}
+	c.Steals++
+	c.StealMsgs++
+	c.net.Send(victim.Worker, thief.Worker, 64, noc.Store, func() {
+		thief.Submit(q.task, q.done)
+	})
+}
+
+// TotalExecuted sums completed tasks across the cluster.
+func (c *Cluster) TotalExecuted() uint64 {
+	var n uint64
+	for _, s := range c.Schedulers {
+		n += s.Executed(DeviceCPU) + s.Executed(DeviceHW)
+	}
+	return n
+}

@@ -1,0 +1,237 @@
+package sim
+
+// This file provides process-level modelling primitives built on the event
+// kernel: counting resources with FIFO wait queues, single-owner mutex-like
+// servers, and simple completion signals. They are the vocabulary in which
+// ports, reconfiguration controllers, DMA engines and schedulers are
+// described by higher layers.
+
+// Resource is a counting resource (e.g. a memory port, a DMA channel, an
+// accelerator's request slot) with capacity tokens and a FIFO of waiters.
+type Resource struct {
+	eng      *Engine
+	name     string
+	capacity int
+	inUse    int
+	waiters  []func()
+
+	// Stats.
+	acquired   uint64
+	totalWait  Time
+	maxWaiters int
+}
+
+// NewResource creates a resource with the given token capacity.
+func NewResource(eng *Engine, name string, capacity int) *Resource {
+	if capacity <= 0 {
+		panic("sim: resource capacity must be positive")
+	}
+	return &Resource{eng: eng, name: name, capacity: capacity}
+}
+
+// Name returns the resource's diagnostic name.
+func (r *Resource) Name() string { return r.name }
+
+// Capacity returns the total token count.
+func (r *Resource) Capacity() int { return r.capacity }
+
+// InUse returns the number of tokens currently held.
+func (r *Resource) InUse() int { return r.inUse }
+
+// QueueLen returns the number of callers waiting for a token.
+func (r *Resource) QueueLen() int { return len(r.waiters) }
+
+// Acquire requests one token and calls then once the token is granted
+// (possibly immediately, in the same event).
+func (r *Resource) Acquire(then func()) {
+	if r.inUse < r.capacity {
+		r.inUse++
+		r.acquired++
+		then()
+		return
+	}
+	start := r.eng.Now()
+	r.waiters = append(r.waiters, func() {
+		r.totalWait += r.eng.Now() - start
+		r.acquired++
+		then()
+	})
+	if len(r.waiters) > r.maxWaiters {
+		r.maxWaiters = len(r.waiters)
+	}
+}
+
+// Release returns one token, handing it to the oldest waiter if any.
+func (r *Resource) Release() {
+	if r.inUse <= 0 {
+		panic("sim: release of idle resource " + r.name)
+	}
+	if len(r.waiters) > 0 {
+		w := r.waiters[0]
+		r.waiters = r.waiters[1:]
+		// The token transfers directly; inUse is unchanged.
+		w()
+		return
+	}
+	r.inUse--
+}
+
+// Use acquires a token, holds it for hold simulated time, releases it, and
+// then calls done. It is the common "serve one request" pattern.
+func (r *Resource) Use(hold Time, done func()) {
+	r.Acquire(func() {
+		r.eng.After(hold, func() {
+			r.Release()
+			if done != nil {
+				done()
+			}
+		})
+	})
+}
+
+// Acquisitions returns how many tokens have been granted in total.
+func (r *Resource) Acquisitions() uint64 { return r.acquired }
+
+// TotalWait returns the summed queue-wait time across all acquisitions.
+func (r *Resource) TotalWait() Time { return r.totalWait }
+
+// MaxQueue returns the maximum observed waiter-queue depth.
+func (r *Resource) MaxQueue() int { return r.maxWaiters }
+
+// Signal is a one-shot completion event that callbacks can wait on. Waits
+// registered after the signal fires run immediately.
+type Signal struct {
+	eng   *Engine
+	done  bool
+	at    Time
+	waits []func()
+}
+
+// NewSignal creates an unfired signal.
+func NewSignal(eng *Engine) *Signal { return &Signal{eng: eng} }
+
+// Done reports whether the signal has fired.
+func (s *Signal) Done() bool { return s.done }
+
+// FiredAt returns the time the signal fired (valid only if Done).
+func (s *Signal) FiredAt() Time { return s.at }
+
+// Wait registers fn to run when the signal fires.
+func (s *Signal) Wait(fn func()) {
+	if s.done {
+		fn()
+		return
+	}
+	s.waits = append(s.waits, fn)
+}
+
+// Fire marks the signal done and runs the waiters in registration order.
+// Firing twice panics: a one-shot signal firing twice is always a protocol
+// bug in the caller.
+func (s *Signal) Fire() {
+	if s.done {
+		panic("sim: signal fired twice")
+	}
+	s.done = true
+	s.at = s.eng.Now()
+	waits := s.waits
+	s.waits = nil
+	for _, fn := range waits {
+		fn()
+	}
+}
+
+// WaitGroup counts down outstanding sub-operations and fires when all are
+// done, like sync.WaitGroup but in simulated time.
+type WaitGroup struct {
+	sig *Signal
+	n   int
+}
+
+// NewWaitGroup creates a group expecting n completions (n may be 0, in
+// which case the group fires on the first Wait).
+func NewWaitGroup(eng *Engine, n int) *WaitGroup {
+	wg := &WaitGroup{sig: NewSignal(eng), n: n}
+	return wg
+}
+
+// Add increases the expected completion count.
+func (w *WaitGroup) Add(n int) {
+	if w.sig.Done() {
+		panic("sim: WaitGroup reused after firing")
+	}
+	w.n += n
+}
+
+// DoneOne records one completion.
+func (w *WaitGroup) DoneOne() {
+	w.n--
+	if w.n < 0 {
+		panic("sim: WaitGroup over-completed")
+	}
+	if w.n == 0 {
+		w.sig.Fire()
+	}
+}
+
+// Wait registers fn to run when the count reaches zero.
+func (w *WaitGroup) Wait(fn func()) {
+	if w.n == 0 && !w.sig.Done() {
+		w.sig.Fire()
+	}
+	w.sig.Wait(fn)
+}
+
+// FIFO is an unbounded queue with blocking-style Pop: if the queue is
+// empty, the consumer callback is parked until an item arrives.
+type FIFO[T any] struct {
+	items   []T
+	poppers []func(T)
+	maxLen  int
+}
+
+// NewFIFO returns an empty queue.
+func NewFIFO[T any]() *FIFO[T] { return &FIFO[T]{} }
+
+// Len returns the number of queued items.
+func (f *FIFO[T]) Len() int { return len(f.items) }
+
+// MaxLen returns the maximum observed queue length.
+func (f *FIFO[T]) MaxLen() int { return f.maxLen }
+
+// Push enqueues an item, delivering it directly to a parked consumer when
+// one exists.
+func (f *FIFO[T]) Push(item T) {
+	if len(f.poppers) > 0 {
+		p := f.poppers[0]
+		f.poppers = f.poppers[1:]
+		p(item)
+		return
+	}
+	f.items = append(f.items, item)
+	if len(f.items) > f.maxLen {
+		f.maxLen = len(f.items)
+	}
+}
+
+// Pop delivers the oldest item to fn, parking fn if the queue is empty.
+func (f *FIFO[T]) Pop(fn func(T)) {
+	if len(f.items) > 0 {
+		item := f.items[0]
+		f.items = f.items[1:]
+		fn(item)
+		return
+	}
+	f.poppers = append(f.poppers, fn)
+}
+
+// TryPop delivers the oldest item if one exists and reports whether it did.
+func (f *FIFO[T]) TryPop(fn func(T)) bool {
+	if len(f.items) == 0 {
+		return false
+	}
+	item := f.items[0]
+	f.items = f.items[1:]
+	fn(item)
+	return true
+}

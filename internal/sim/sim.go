@@ -1,0 +1,210 @@
+// Package sim provides the discrete-event simulation kernel that every
+// other ECOSCALE substrate runs on.
+//
+// The kernel is deliberately small: a simulated clock, a priority queue of
+// events, and cooperative "processes" expressed as callbacks. Determinism
+// is a hard requirement — two runs with the same seed and the same event
+// insertion order must produce identical traces — so ties in event time are
+// broken by insertion sequence number, never by map iteration or scheduler
+// whim.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is simulated time in picoseconds. Picosecond resolution lets cycle
+// times of multi-GHz clocks be expressed exactly as integers (1 GHz = 1000
+// ps/cycle) while an int64 still spans ~106 days of simulated time.
+type Time int64
+
+// Common durations.
+const (
+	Picosecond  Time = 1
+	Nanosecond  Time = 1000
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Seconds converts a simulated duration to floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Micros converts a simulated duration to floating-point microseconds.
+func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+// Nanos converts a simulated duration to floating-point nanoseconds.
+func (t Time) Nanos() float64 { return float64(t) / float64(Nanosecond) }
+
+func (t Time) String() string {
+	switch {
+	case t == math.MaxInt64:
+		return "∞"
+	case t >= Second:
+		return fmt.Sprintf("%.6fs", t.Seconds())
+	case t >= Millisecond:
+		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+	case t >= Microsecond:
+		return fmt.Sprintf("%.3fus", t.Micros())
+	case t >= Nanosecond:
+		return fmt.Sprintf("%.3fns", t.Nanos())
+	default:
+		return fmt.Sprintf("%dps", int64(t))
+	}
+}
+
+// Forever is a sentinel meaning "no deadline".
+const Forever Time = math.MaxInt64
+
+// Event is a scheduled callback.
+type event struct {
+	at    Time
+	seq   uint64
+	fn    func()
+	index int  // heap index
+	dead  bool // cancelled
+}
+
+// EventID identifies a scheduled event so it can be cancelled.
+type EventID struct{ ev *event }
+
+// eventQueue is a min-heap on (at, seq).
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulation engine. The zero value is not
+// usable; create one with NewEngine. An Engine is not safe for concurrent
+// use: the simulated world is single-threaded by design (parallel hardware
+// is modelled by interleaved events, not goroutines), which is what makes
+// runs reproducible.
+type Engine struct {
+	now     Time
+	seq     uint64
+	queue   eventQueue
+	ran     uint64
+	stopped bool
+	rng     *RNG
+}
+
+// NewEngine returns an engine at time zero whose random source is seeded
+// with seed.
+func NewEngine(seed int64) *Engine {
+	return &Engine{rng: NewRNG(seed)}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// RNG returns the engine's deterministic random source.
+func (e *Engine) RNG() *RNG { return e.rng }
+
+// EventsRun reports how many events have fired so far.
+func (e *Engine) EventsRun() uint64 { return e.ran }
+
+// Pending reports how many events are scheduled and not yet fired.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// At schedules fn to run at absolute time at. Scheduling in the past
+// (before Now) panics: it would corrupt causality silently otherwise.
+func (e *Engine) At(at Time, fn func()) EventID {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, e.now))
+	}
+	ev := &event{at: at, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return EventID{ev}
+}
+
+// After schedules fn to run d after the current time.
+func (e *Engine) After(d Time, fn func()) EventID {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %d", d))
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Cancel removes a scheduled event. Cancelling an already-fired or
+// already-cancelled event is a no-op. It reports whether the event was
+// actually cancelled by this call.
+func (e *Engine) Cancel(id EventID) bool {
+	ev := id.ev
+	if ev == nil || ev.dead || ev.index < 0 || ev.index >= len(e.queue) || e.queue[ev.index] != ev {
+		return false
+	}
+	ev.dead = true
+	heap.Remove(&e.queue, ev.index)
+	return true
+}
+
+// Stop makes Run return after the currently executing event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Step fires the single earliest pending event. It reports false when the
+// queue is empty.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*event)
+	ev.index = -1
+	if ev.dead {
+		return true
+	}
+	if ev.at < e.now {
+		panic("sim: time went backwards")
+	}
+	e.now = ev.at
+	e.ran++
+	ev.fn()
+	return true
+}
+
+// Run fires events until the queue drains, Stop is called, or the next
+// event would be after deadline (use Forever for no deadline). It returns
+// the final simulated time.
+func (e *Engine) Run(deadline Time) Time {
+	e.stopped = false
+	for !e.stopped && len(e.queue) > 0 {
+		if e.queue[0].at > deadline {
+			break
+		}
+		e.Step()
+	}
+	if e.now < deadline && deadline != Forever {
+		// Advance the clock to the deadline so back-to-back bounded runs
+		// observe contiguous time.
+		e.now = deadline
+	}
+	return e.now
+}
+
+// RunUntilIdle fires events until none remain and returns the final time.
+func (e *Engine) RunUntilIdle() Time { return e.Run(Forever) }

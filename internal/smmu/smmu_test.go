@@ -1,0 +1,413 @@
+package smmu
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"ecoscale/internal/sim"
+)
+
+const pg = uint64(4096)
+
+// newMapped returns an SMMU with stream 1 bound to (asid=10, vmid=20) and
+// VA page 5 → IPA page 7 → PA page 9, RW.
+func newMapped(t *testing.T) *SMMU {
+	t.Helper()
+	s := New(DefaultConfig())
+	s.BindContext(1, 10, 20)
+	s.MapStage1(10, 5*pg, 7*pg, PermRW)
+	s.MapStage2(20, 7*pg, 9*pg, PermRW)
+	return s
+}
+
+func TestTranslateTwoStages(t *testing.T) {
+	s := newMapped(t)
+	res, err := s.Translate(1, 5*pg+123, PermRead)
+	if err != nil {
+		t.Fatalf("Translate failed: %v", err)
+	}
+	if res.PA != 9*pg+123 {
+		t.Errorf("PA = %#x, want %#x", res.PA, 9*pg+123)
+	}
+	if res.TLBHit {
+		t.Error("first translation claimed TLB hit")
+	}
+	res2, err := s.Translate(1, 5*pg+456, PermWrite)
+	if err != nil || !res2.TLBHit {
+		t.Errorf("second translation should hit TLB: %v %v", res2, err)
+	}
+	if res2.PA != 9*pg+456 {
+		t.Errorf("TLB hit PA = %#x, want %#x", res2.PA, 9*pg+456)
+	}
+	if s.Hits() != 1 || s.Misses() != 1 {
+		t.Errorf("hits/misses = %d/%d, want 1/1", s.Hits(), s.Misses())
+	}
+}
+
+func TestFaultKinds(t *testing.T) {
+	s := newMapped(t)
+	cases := []struct {
+		name   string
+		stream int
+		va     uint64
+		access Perm
+		want   FaultKind
+	}{
+		{"no context", 99, 5 * pg, PermRead, FaultNoContext},
+		{"stage1 translation", 1, 6 * pg, PermRead, FaultTranslationStage1},
+	}
+	for _, c := range cases {
+		_, err := s.Translate(c.stream, c.va, c.access)
+		var f *Fault
+		if !errors.As(err, &f) || f.Kind != c.want {
+			t.Errorf("%s: err = %v, want kind %v", c.name, err, c.want)
+		}
+	}
+	// Stage-2 translation fault: stage 1 maps to an unmapped IPA.
+	s.MapStage1(10, 6*pg, 8*pg, PermRW)
+	_, err := s.Translate(1, 6*pg, PermRead)
+	var f *Fault
+	if !errors.As(err, &f) || f.Kind != FaultTranslationStage2 {
+		t.Errorf("stage-2 fault = %v", err)
+	}
+	if s.Faults() != 3 {
+		t.Errorf("Faults = %d, want 3", s.Faults())
+	}
+}
+
+func TestPermissionFaults(t *testing.T) {
+	s := New(DefaultConfig())
+	s.BindContext(1, 10, 20)
+	s.MapStage1(10, 0, 0, PermRead) // read-only stage 1
+	s.MapStage2(20, 0, 0, PermRW)
+	if _, err := s.Translate(1, 0, PermRead); err != nil {
+		t.Fatalf("read should pass: %v", err)
+	}
+	_, err := s.Translate(1, 0, PermWrite)
+	var f *Fault
+	if !errors.As(err, &f) || f.Kind != FaultPermissionStage1 {
+		t.Errorf("want stage-1 permission fault, got %v", err)
+	}
+
+	s2 := New(DefaultConfig())
+	s2.BindContext(1, 10, 20)
+	s2.MapStage1(10, 0, 0, PermRW)
+	s2.MapStage2(20, 0, 0, PermRead) // hypervisor says read-only
+	_, err = s2.Translate(1, 0, PermWrite)
+	if !errors.As(err, &f) || f.Kind != FaultPermissionStage2 {
+		t.Errorf("want stage-2 permission fault, got %v", err)
+	}
+}
+
+func TestPermAfterTLBFill(t *testing.T) {
+	// A write after a read-triggered fill must still be permission-checked
+	// against the cached intersection.
+	s := New(DefaultConfig())
+	s.BindContext(1, 10, 20)
+	s.MapStage1(10, 0, 0, PermRW)
+	s.MapStage2(20, 0, 0, PermRead)
+	if _, err := s.Translate(1, 8, PermRead); err != nil {
+		t.Fatalf("read failed: %v", err)
+	}
+	if _, err := s.Translate(1, 8, PermWrite); err == nil {
+		t.Error("write through read-only TLB entry did not fault")
+	}
+}
+
+func TestStreamIsolation(t *testing.T) {
+	// Two streams bound to different ASIDs see different translations of
+	// the same VA — the user-level-access isolation property.
+	s := New(DefaultConfig())
+	s.BindContext(1, 10, 20)
+	s.BindContext(2, 11, 20)
+	s.MapStage1(10, 0, 1*pg, PermRW)
+	s.MapStage1(11, 0, 2*pg, PermRW)
+	s.MapIdentity2(20, 0, 8, PermRW)
+	r1, err1 := s.Translate(1, 100, PermRead)
+	r2, err2 := s.Translate(2, 100, PermRead)
+	if err1 != nil || err2 != nil {
+		t.Fatalf("translations failed: %v %v", err1, err2)
+	}
+	if r1.PA == r2.PA {
+		t.Error("streams with different ASIDs resolved to the same PA")
+	}
+	if r1.PA != 1*pg+100 || r2.PA != 2*pg+100 {
+		t.Errorf("PAs = %#x, %#x", r1.PA, r2.PA)
+	}
+}
+
+func TestUnbindContext(t *testing.T) {
+	s := newMapped(t)
+	if _, err := s.Translate(1, 5*pg, PermRead); err != nil {
+		t.Fatal(err)
+	}
+	s.UnbindContext(1)
+	_, err := s.Translate(1, 5*pg, PermRead)
+	var f *Fault
+	if !errors.As(err, &f) || f.Kind != FaultNoContext {
+		t.Errorf("after unbind: %v", err)
+	}
+}
+
+func TestUnmapInvalidatesTLB(t *testing.T) {
+	s := newMapped(t)
+	if _, err := s.Translate(1, 5*pg, PermRead); err != nil {
+		t.Fatal(err)
+	}
+	s.UnmapStage1(10, 5*pg)
+	if _, err := s.Translate(1, 5*pg, PermRead); err == nil {
+		t.Error("stale TLB entry served an unmapped page")
+	}
+}
+
+func TestRemapStage1InvalidatesTLB(t *testing.T) {
+	s := newMapped(t)
+	if _, err := s.Translate(1, 5*pg, PermRead); err != nil {
+		t.Fatal(err)
+	}
+	s.MapStage2(20, 8*pg, 11*pg, PermRW)
+	s.MapStage1(10, 5*pg, 8*pg, PermRW) // remap to a new IPA
+	res, err := s.Translate(1, 5*pg, PermRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PA != 11*pg {
+		t.Errorf("remapped PA = %#x, want %#x (stale TLB?)", res.PA, 11*pg)
+	}
+}
+
+func TestStage2RemapFlushesVMID(t *testing.T) {
+	s := newMapped(t)
+	if _, err := s.Translate(1, 5*pg, PermRead); err != nil {
+		t.Fatal(err)
+	}
+	s.MapStage2(20, 7*pg, 15*pg, PermRW) // hypervisor moves the page
+	res, err := s.Translate(1, 5*pg, PermRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PA != 15*pg {
+		t.Errorf("PA after stage-2 remap = %#x, want %#x", res.PA, 15*pg)
+	}
+}
+
+func TestInvalidateAll(t *testing.T) {
+	s := newMapped(t)
+	s.Translate(1, 5*pg, PermRead)
+	s.InvalidateAll()
+	res, err := s.Translate(1, 5*pg, PermRead)
+	if err != nil || res.TLBHit {
+		t.Error("InvalidateAll did not flush")
+	}
+}
+
+func TestTLBEviction(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TLBEntries = 2
+	s := New(cfg)
+	s.BindContext(1, 10, 20)
+	s.MapIdentity2(20, 0, 16, PermRW)
+	for i := uint64(0); i < 4; i++ {
+		s.MapStage1(10, i*pg, i*pg, PermRW)
+	}
+	for i := uint64(0); i < 4; i++ {
+		if _, err := s.Translate(1, i*pg, PermRead); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Entry 0 must have been evicted by now.
+	res, err := s.Translate(1, 0, PermRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TLBHit {
+		t.Error("expected capacity miss after eviction")
+	}
+}
+
+func TestLatency(t *testing.T) {
+	s := New(DefaultConfig())
+	if !(s.Latency(true) < s.Latency(false)) {
+		t.Error("TLB hit should be cheaper than walk")
+	}
+	want := s.cfg.TLBHitLatency + 6*s.cfg.WalkLevelLatency
+	if s.Latency(false) != want {
+		t.Errorf("walk latency = %v, want %v", s.Latency(false), want)
+	}
+}
+
+func TestTranslateTimed(t *testing.T) {
+	eng := sim.NewEngine(1)
+	s := newMapped(t)
+	var missT, hitT sim.Time
+	s.TranslateTimed(eng, 1, 5*pg, PermRead, func(r Result, err error) {
+		if err != nil {
+			t.Errorf("timed translate failed: %v", err)
+		}
+		missT = eng.Now()
+		start := eng.Now()
+		s.TranslateTimed(eng, 1, 5*pg, PermRead, func(r Result, err error) {
+			hitT = eng.Now() - start
+		})
+	})
+	eng.RunUntilIdle()
+	if hitT >= missT {
+		t.Errorf("TLB hit (%v) should be faster than walk (%v)", hitT, missT)
+	}
+}
+
+func TestAlignmentPanics(t *testing.T) {
+	s := New(DefaultConfig())
+	for name, fn := range map[string]func(){
+		"stage1": func() { s.MapStage1(1, 100, 0, PermRW) },
+		"stage2": func() { s.MapStage2(1, 0, 100, PermRW) },
+		"config": func() { New(Config{}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestPermString(t *testing.T) {
+	if PermRW.String() != "rw" || PermRead.String() != "r" || Perm(0).String() != "-" {
+		t.Error("Perm.String wrong")
+	}
+}
+
+func TestFaultKindString(t *testing.T) {
+	if !strings.Contains(FaultTranslationStage2.String(), "stage2") {
+		t.Error("FaultKind string wrong")
+	}
+	if !strings.Contains((&Fault{Kind: FaultNoContext, StreamID: 3, VA: 0x1000}).Error(), "stream 3") {
+		t.Error("Fault error string wrong")
+	}
+}
+
+// Property: for every mapped VA, Translate equals manual composition of
+// the two stages, TLB on or off; and offsets are preserved.
+func TestComposeProperty(t *testing.T) {
+	s := New(DefaultConfig())
+	s.BindContext(1, 10, 20)
+	stage1 := map[uint64]uint64{}
+	stage2 := map[uint64]uint64{}
+	for i := uint64(0); i < 32; i++ {
+		ipa := (i*7 + 3) % 64
+		pa := (ipa*13 + 5) % 128
+		s.MapStage1(10, i*pg, ipa*pg, PermRW)
+		stage1[i] = ipa
+		if _, ok := stage2[ipa]; !ok {
+			s.MapStage2(20, ipa*pg, pa*pg, PermRW)
+			stage2[ipa] = pa
+		}
+	}
+	prop := func(pageRaw uint8, offRaw uint16) bool {
+		page := uint64(pageRaw % 32)
+		off := uint64(offRaw) % pg
+		va := page*pg + off
+		res, err := s.Translate(1, va, PermRead)
+		if err != nil {
+			return false
+		}
+		want := stage2[stage1[page]]*pg + off
+		return res.PA == want
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: unmapped VAs never translate silently.
+func TestUnmappedAlwaysFaults(t *testing.T) {
+	s := newMapped(t)
+	prop := func(pageRaw uint16) bool {
+		page := uint64(pageRaw)
+		if page == 5 {
+			return true // the one mapped page
+		}
+		_, err := s.Translate(1, page*pg, PermRead)
+		return err != nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFaultHandlerDemandMaps(t *testing.T) {
+	eng := sim.NewEngine(1)
+	s := New(DefaultConfig())
+	s.BindContext(1, 10, 20)
+	s.MapIdentity2(20, 0, 64, PermRW)
+	s.SetFaultHandler(func(f *Fault) bool {
+		if f.Kind != FaultTranslationStage1 {
+			return false
+		}
+		// Demand-map the page identity.
+		page := f.VA &^ (s.PageSize() - 1)
+		s.MapStage1(10, page, page, PermRW)
+		return true
+	})
+	var res Result
+	var err error
+	s.TranslateTimed(eng, 1, 5*pg+12, PermRead, func(r Result, e error) { res, err = r, e })
+	end := eng.RunUntilIdle()
+	if err != nil {
+		t.Fatalf("demand mapping failed: %v", err)
+	}
+	if res.PA != 5*pg+12 {
+		t.Errorf("PA = %#x", res.PA)
+	}
+	if s.Handled() != 1 {
+		t.Errorf("Handled = %d", s.Handled())
+	}
+	// The fault path must cost at least the OS handler latency.
+	if end < s.HandlerLatency {
+		t.Errorf("fault resolved in %v, faster than the OS round trip %v", end, s.HandlerLatency)
+	}
+	// Next access: no handler involvement.
+	before := s.Handled()
+	s.TranslateTimed(eng, 1, 5*pg+100, PermRead, func(r Result, e error) { err = e })
+	eng.RunUntilIdle()
+	if err != nil || s.Handled() != before {
+		t.Error("second access should translate without the handler")
+	}
+}
+
+func TestFaultHandlerDeclines(t *testing.T) {
+	eng := sim.NewEngine(1)
+	s := New(DefaultConfig())
+	s.BindContext(1, 10, 20)
+	s.SetFaultHandler(func(f *Fault) bool { return false })
+	var err error
+	s.TranslateTimed(eng, 1, 0, PermRead, func(_ Result, e error) { err = e })
+	eng.RunUntilIdle()
+	if err == nil {
+		t.Error("declined fault should still error")
+	}
+	if s.Handled() != 0 {
+		t.Error("declined fault counted as handled")
+	}
+}
+
+func TestFaultHandlerSecondFaultNotRetried(t *testing.T) {
+	// Handler claims success but does not map: the retry faults and the
+	// error surfaces (no infinite retry loop).
+	eng := sim.NewEngine(1)
+	s := New(DefaultConfig())
+	s.BindContext(1, 10, 20)
+	s.SetFaultHandler(func(f *Fault) bool { return true })
+	var err error
+	done := false
+	s.TranslateTimed(eng, 1, 0, PermRead, func(_ Result, e error) { err = e; done = true })
+	eng.RunUntilIdle()
+	if !done || err == nil {
+		t.Error("lying handler should surface the second fault")
+	}
+}

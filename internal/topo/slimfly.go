@@ -1,0 +1,206 @@
+package topo
+
+import "fmt"
+
+// SlimFly is the diameter-2 McKay–Miller–Širáň topology §2 names
+// alongside Dragonfly as the high-radix structure future HPC
+// partitioning mirrors. For a prime q with q ≡ 1 (mod 4) it builds
+// 2q² routers in two subgraphs; every pair of routers is at most two
+// hops apart, which is what makes it attractive for low-latency
+// hierarchical partitioning.
+//
+// Construction (MMS graphs): routers are (s, x, y) with s ∈ {0, 1} and
+// x, y ∈ GF(q). With ξ a primitive element, X = {ξ⁰, ξ², …} (the
+// quadratic residues times generators) and X' = ξ·X:
+//
+//	(0, x, y) ~ (0, x, y')  iff  y − y' ∈ X
+//	(1, m, c) ~ (1, m, c')  iff  c − c' ∈ X'
+//	(0, x, y) ~ (1, m, c)   iff  y = m·x + c
+type SlimFly struct {
+	Q int // prime, q ≡ 1 (mod 4)
+	P int // workers per router
+
+	adj  [][]int // router adjacency lists
+	dist [][]int8
+}
+
+// NewSlimFly builds the MMS graph for prime q ≡ 1 (mod 4) with p
+// workers attached to each of the 2q² routers. Supported q: 5, 13, 17
+// (small primes; larger values work but cost O(R²) distance storage).
+func NewSlimFly(q, p int) *SlimFly {
+	if p <= 0 {
+		panic("topo: slimfly needs positive workers per router")
+	}
+	if q < 2 || q%4 != 1 || !isPrime(q) {
+		panic(fmt.Sprintf("topo: slimfly q=%d must be a prime ≡ 1 (mod 4)", q))
+	}
+	sf := &SlimFly{Q: q, P: p}
+	sf.build()
+	return sf
+}
+
+func isPrime(n int) bool {
+	if n < 2 {
+		return false
+	}
+	for d := 2; d*d <= n; d++ {
+		if n%d == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// primitiveElement finds a generator of GF(q)*.
+func primitiveElement(q int) int {
+	for g := 2; g < q; g++ {
+		seen := make([]bool, q)
+		v := 1
+		count := 0
+		for i := 0; i < q-1; i++ {
+			v = v * g % q
+			if !seen[v] {
+				seen[v] = true
+				count++
+			}
+		}
+		if count == q-1 {
+			return g
+		}
+	}
+	panic("topo: no primitive element (q not prime?)")
+}
+
+func (sf *SlimFly) routerID(s, x, y int) int {
+	q := sf.Q
+	return s*q*q + x*q + y
+}
+
+func (sf *SlimFly) build() {
+	q := sf.Q
+	xi := primitiveElement(q)
+	// X = {ξ^0, ξ^2, ...} (even powers); X' = {ξ^1, ξ^3, ...}.
+	inX := make([]bool, q)
+	inXp := make([]bool, q)
+	v := 1
+	for i := 0; i < q-1; i++ {
+		if i%2 == 0 {
+			inX[v] = true
+		} else {
+			inXp[v] = true
+		}
+		v = v * xi % q
+	}
+	routers := 2 * q * q
+	sf.adj = make([][]int, routers)
+	addEdge := func(a, b int) {
+		sf.adj[a] = append(sf.adj[a], b)
+		sf.adj[b] = append(sf.adj[b], a)
+	}
+	// Intra-subgraph edges.
+	for x := 0; x < q; x++ {
+		for y := 0; y < q; y++ {
+			for yp := y + 1; yp < q; yp++ {
+				d := (y - yp + q) % q
+				if inX[d] || inX[(q-d)%q] {
+					addEdge(sf.routerID(0, x, y), sf.routerID(0, x, yp))
+				}
+				if inXp[d] || inXp[(q-d)%q] {
+					addEdge(sf.routerID(1, x, y), sf.routerID(1, x, yp))
+				}
+			}
+		}
+	}
+	// Cross edges: (0,x,y) ~ (1,m,c) iff y = m·x + c (mod q); for each
+	// (x, m, c) there is exactly one such y.
+	for x := 0; x < q; x++ {
+		for m := 0; m < q; m++ {
+			for c := 0; c < q; c++ {
+				y := (m*x + c) % q
+				addEdge(sf.routerID(0, x, y), sf.routerID(1, m, c))
+			}
+		}
+	}
+	// Deduplicate adjacency (cross loop adds each edge once; intra too).
+	for i := range sf.adj {
+		seen := map[int]bool{}
+		var uniq []int
+		for _, n := range sf.adj[i] {
+			if n != i && !seen[n] {
+				seen[n] = true
+				uniq = append(uniq, n)
+			}
+		}
+		sf.adj[i] = uniq
+	}
+	// All-pairs BFS (R ≤ 2q², fine for small q).
+	sf.dist = make([][]int8, routers)
+	for s := 0; s < routers; s++ {
+		d := make([]int8, routers)
+		for i := range d {
+			d[i] = -1
+		}
+		d[s] = 0
+		queue := []int{s}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, n := range sf.adj[u] {
+				if d[n] < 0 {
+					d[n] = d[u] + 1
+					queue = append(queue, n)
+				}
+			}
+		}
+		sf.dist[s] = d
+	}
+}
+
+// Routers returns the router count (2q²).
+func (sf *SlimFly) Routers() int { return 2 * sf.Q * sf.Q }
+
+// Name implements Topology.
+func (sf *SlimFly) Name() string { return fmt.Sprintf("slimfly[q=%d,p=%d]", sf.Q, sf.P) }
+
+// NumWorkers implements Topology.
+func (sf *SlimFly) NumWorkers() int { return sf.Routers() * sf.P }
+
+// RouterOf returns the router hosting a worker.
+func (sf *SlimFly) RouterOf(w int) int { return w / sf.P }
+
+// HopDistance implements Topology: 0 same worker, 1 same router, else
+// router distance + 1 for injection.
+func (sf *SlimFly) HopDistance(a, b int) int {
+	if a == b {
+		return 0
+	}
+	ra, rb := sf.RouterOf(a), sf.RouterOf(b)
+	if ra == rb {
+		return 1
+	}
+	return int(sf.dist[ra][rb]) + 1
+}
+
+// MaxHops implements Topology.
+func (sf *SlimFly) MaxHops() int {
+	max := 0
+	for _, row := range sf.dist {
+		for _, d := range row {
+			if int(d) > max {
+				max = int(d)
+			}
+		}
+	}
+	return max + 1
+}
+
+// Diameter returns the router-graph diameter (2 for a valid MMS graph).
+func (sf *SlimFly) Diameter() int { return sf.MaxHops() - 1 }
+
+// Degree returns the router degree (should be (3q−δ)/2 with δ = ±1).
+func (sf *SlimFly) Degree() int {
+	if len(sf.adj) == 0 {
+		return 0
+	}
+	return len(sf.adj[0])
+}

@@ -1,0 +1,126 @@
+package topo
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSlimFlyQ5Shape(t *testing.T) {
+	sf := NewSlimFly(5, 2)
+	if sf.Routers() != 50 {
+		t.Fatalf("routers = %d, want 2q²=50", sf.Routers())
+	}
+	if sf.NumWorkers() != 100 {
+		t.Errorf("workers = %d, want 100", sf.NumWorkers())
+	}
+	// MMS degree for q ≡ 1 (mod 4): (3q−1)/2 = 7.
+	if sf.Degree() != 7 {
+		t.Errorf("degree = %d, want 7", sf.Degree())
+	}
+	// The defining property: router-graph diameter 2.
+	if sf.Diameter() != 2 {
+		t.Errorf("diameter = %d, want 2", sf.Diameter())
+	}
+	if sf.MaxHops() != 3 {
+		t.Errorf("MaxHops = %d, want 3 (diameter + injection)", sf.MaxHops())
+	}
+	if sf.Name() != "slimfly[q=5,p=2]" {
+		t.Errorf("Name = %q", sf.Name())
+	}
+}
+
+func TestSlimFlyQ13Diameter(t *testing.T) {
+	sf := NewSlimFly(13, 1)
+	if sf.Routers() != 338 {
+		t.Fatalf("routers = %d, want 338", sf.Routers())
+	}
+	if sf.Diameter() != 2 {
+		t.Errorf("q=13 diameter = %d, want 2", sf.Diameter())
+	}
+	// Degree (3q−1)/2 = 19.
+	if sf.Degree() != 19 {
+		t.Errorf("degree = %d, want 19", sf.Degree())
+	}
+}
+
+func TestSlimFlyRegular(t *testing.T) {
+	sf := NewSlimFly(5, 1)
+	deg := sf.Degree()
+	for r := 0; r < sf.Routers(); r++ {
+		if len(sf.adj[r]) != deg {
+			t.Fatalf("router %d has degree %d, want %d (graph not regular)", r, len(sf.adj[r]), deg)
+		}
+	}
+}
+
+func TestSlimFlyDistances(t *testing.T) {
+	sf := NewSlimFly(5, 2)
+	if sf.HopDistance(0, 0) != 0 {
+		t.Error("self distance")
+	}
+	if sf.HopDistance(0, 1) != 1 {
+		t.Error("same-router distance should be 1")
+	}
+	if sf.RouterOf(3) != 1 {
+		t.Error("RouterOf wrong")
+	}
+}
+
+// Property: distances are symmetric, bounded by MaxHops, and the graph
+// is connected.
+func TestSlimFlyDistanceProperties(t *testing.T) {
+	sf := NewSlimFly(5, 2)
+	n := sf.NumWorkers()
+	prop := func(aRaw, bRaw uint8) bool {
+		a, b := int(aRaw)%n, int(bRaw)%n
+		d := sf.HopDistance(a, b)
+		if d != sf.HopDistance(b, a) {
+			return false
+		}
+		if (a == b) != (d == 0) {
+			return false
+		}
+		return d <= sf.MaxHops() && d >= 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSlimFlyPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"q not 1 mod 4": func() { NewSlimFly(7, 1) },
+		"q composite":   func() { NewSlimFly(9, 1) },
+		"zero workers":  func() { NewSlimFly(5, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// SlimFly vs Dragonfly at similar scale: the diameter-2 structure gives
+// a lower mean distance — the §2 rationale for naming it.
+func TestSlimFlyBeatsDragonflyMeanDistance(t *testing.T) {
+	sf := NewSlimFly(5, 2)       // 100 workers, router diameter 2
+	df2 := NewDragonfly(4, 2, 1) // 5 groups x 4 routers x 2 = 40 workers
+	mean := func(tp Topology) float64 {
+		n := tp.NumWorkers()
+		var sum, cnt float64
+		for a := 0; a < n; a++ {
+			for b := a + 1; b < n; b++ {
+				sum += float64(tp.HopDistance(a, b))
+				cnt++
+			}
+		}
+		return sum / cnt
+	}
+	if m1, m2 := mean(sf), mean(df2); m1 >= m2 {
+		t.Errorf("slimfly mean distance (%.2f) should beat dragonfly (%.2f)", m1, m2)
+	}
+}

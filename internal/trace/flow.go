@@ -1,0 +1,80 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+)
+
+// FlowLog records the interaction and control flow between the three
+// abstraction layers of Fig. 2/Fig. 5 — runtime, middleware/HLS,
+// hardware — as timestamped events. It is attached optionally to the
+// runtime scheduler, the UNILOGIC domain and the accelerator managers;
+// cmd/ecosim -flowtrace prints it, reproducing Fig. 5 as a sequence
+// listing.
+type FlowLog struct {
+	events []FlowEvent
+	// Cap bounds retained events (0 = unbounded).
+	Cap int
+}
+
+// FlowEvent is one layer-interaction step.
+type FlowEvent struct {
+	AtPs  int64 // simulated picoseconds
+	Layer string
+	Event string
+}
+
+// NewFlowLog returns an empty log retaining up to cap events.
+func NewFlowLog(cap int) *FlowLog { return &FlowLog{Cap: cap} }
+
+// Add appends an event (no-op on a nil log, so call sites need no
+// guards).
+func (l *FlowLog) Add(atPs int64, layer, format string, args ...any) {
+	if l == nil {
+		return
+	}
+	if l.Cap > 0 && len(l.events) >= l.Cap {
+		return
+	}
+	l.events = append(l.events, FlowEvent{AtPs: atPs, Layer: layer, Event: fmt.Sprintf(format, args...)})
+}
+
+// Events returns the recorded events in order.
+func (l *FlowLog) Events() []FlowEvent {
+	if l == nil {
+		return nil
+	}
+	return l.events
+}
+
+// Len returns the event count.
+func (l *FlowLog) Len() int {
+	if l == nil {
+		return 0
+	}
+	return len(l.events)
+}
+
+// Layers returns the distinct layers seen, in first-appearance order.
+func (l *FlowLog) Layers() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, e := range l.Events() {
+		if !seen[e.Layer] {
+			seen[e.Layer] = true
+			out = append(out, e.Layer)
+		}
+	}
+	return out
+}
+
+// String renders the Fig. 5-style sequence listing.
+func (l *FlowLog) String() string {
+	var b strings.Builder
+	b.WriteString("== layer interaction flow (Fig. 5) ==\n")
+	for _, e := range l.Events() {
+		us := float64(e.AtPs) / 1e6
+		fmt.Fprintf(&b, "%12.3fus  %-12s %s\n", us, e.Layer, e.Event)
+	}
+	return b.String()
+}

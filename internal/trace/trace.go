@@ -1,0 +1,323 @@
+// Package trace provides the measurement vocabulary for ECOSCALE
+// experiments: named counters, scalar statistics, histograms, time series,
+// and plain-text/CSV table rendering used by cmd/ecobench to print the
+// rows each experiment reports.
+package trace
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Counter is a monotonically increasing named count.
+type Counter struct {
+	Name  string
+	Value uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.Value += n }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Value++ }
+
+// Stat accumulates scalar samples and reports summary statistics without
+// retaining the samples themselves.
+type Stat struct {
+	Name string
+	n    uint64
+	sum  float64
+	sum2 float64
+	min  float64
+	max  float64
+}
+
+// NewStat returns an empty statistic accumulator.
+func NewStat(name string) *Stat {
+	return &Stat{Name: name, min: math.Inf(1), max: math.Inf(-1)}
+}
+
+// Observe records one sample.
+func (s *Stat) Observe(v float64) {
+	s.n++
+	s.sum += v
+	s.sum2 += v * v
+	if v < s.min {
+		s.min = v
+	}
+	if v > s.max {
+		s.max = v
+	}
+}
+
+// Count returns the number of samples observed.
+func (s *Stat) Count() uint64 { return s.n }
+
+// Sum returns the sum of all samples.
+func (s *Stat) Sum() float64 { return s.sum }
+
+// Mean returns the sample mean (0 if empty).
+func (s *Stat) Mean() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.sum / float64(s.n)
+}
+
+// Variance returns the population variance (0 if fewer than 2 samples).
+func (s *Stat) Variance() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	m := s.Mean()
+	v := s.sum2/float64(s.n) - m*m
+	if v < 0 { // numeric noise
+		return 0
+	}
+	return v
+}
+
+// StdDev returns the population standard deviation.
+func (s *Stat) StdDev() float64 { return math.Sqrt(s.Variance()) }
+
+// Min returns the smallest sample (+Inf if empty).
+func (s *Stat) Min() float64 { return s.min }
+
+// Max returns the largest sample (-Inf if empty).
+func (s *Stat) Max() float64 { return s.max }
+
+func (s *Stat) String() string {
+	return fmt.Sprintf("%s: n=%d mean=%.4g sd=%.4g min=%.4g max=%.4g",
+		s.Name, s.n, s.Mean(), s.StdDev(), s.min, s.max)
+}
+
+// Histogram buckets samples into fixed-width bins over [lo, hi); samples
+// outside the range land in saturating edge bins.
+type Histogram struct {
+	Name    string
+	lo, hi  float64
+	buckets []uint64
+	stat    *Stat
+}
+
+// NewHistogram creates a histogram with n bins over [lo, hi).
+func NewHistogram(name string, lo, hi float64, n int) *Histogram {
+	if n <= 0 || hi <= lo {
+		panic("trace: invalid histogram shape")
+	}
+	return &Histogram{Name: name, lo: lo, hi: hi, buckets: make([]uint64, n), stat: NewStat(name)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	h.stat.Observe(v)
+	i := int(float64(len(h.buckets)) * (v - h.lo) / (h.hi - h.lo))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.buckets) {
+		i = len(h.buckets) - 1
+	}
+	h.buckets[i]++
+}
+
+// Bucket returns the count in bin i.
+func (h *Histogram) Bucket(i int) uint64 { return h.buckets[i] }
+
+// Count returns the total number of samples.
+func (h *Histogram) Count() uint64 { return h.stat.Count() }
+
+// Mean returns the sample mean.
+func (h *Histogram) Mean() float64 { return h.stat.Mean() }
+
+// Quantile returns an approximate q-quantile (q in [0,1]) from bin counts.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.stat.Count() == 0 {
+		return 0
+	}
+	target := q * float64(h.stat.Count())
+	var cum float64
+	width := (h.hi - h.lo) / float64(len(h.buckets))
+	for i, c := range h.buckets {
+		cum += float64(c)
+		if cum >= target {
+			return h.lo + (float64(i)+0.5)*width
+		}
+	}
+	return h.hi
+}
+
+// Series is an append-only (x, y) time/parameter series.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Append adds one point.
+func (s *Series) Append(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// Len returns the number of points.
+func (s *Series) Len() int { return len(s.X) }
+
+// Table is a simple column-oriented results table rendered as aligned text
+// or CSV. It is the output format of every experiment row generator.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends a row; cells are rendered with %v, floats with %.4g.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", v)
+		case float32:
+			row[i] = fmt.Sprintf("%.4g", v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// String renders the table as aligned plain text.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	for i, c := range t.Columns {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		fmt.Fprintf(&b, "%-*s", widths[i], c)
+	}
+	b.WriteByte('\n')
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			if i < len(widths) {
+				fmt.Fprintf(&b, "%-*s", widths[i], c)
+			} else {
+				b.WriteString(c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CSV renders the table as RFC-4180-ish CSV (quotes only when needed).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	for i, c := range t.Columns {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(esc(c))
+	}
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(esc(c))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Registry is a namespace of counters and stats shared by the components
+// of one simulated machine.
+type Registry struct {
+	counters map[string]*Counter
+	stats    map[string]*Stat
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{counters: map[string]*Counter{}, stats: map[string]*Stat{}}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{Name: name}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Stat returns the named stat, creating it on first use.
+func (r *Registry) Stat(name string) *Stat {
+	s, ok := r.stats[name]
+	if !ok {
+		s = NewStat(name)
+		r.stats[name] = s
+	}
+	return s
+}
+
+// CounterNames returns all counter names, sorted.
+func (r *Registry) CounterNames() []string {
+	names := make([]string, 0, len(r.counters))
+	for n := range r.counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Dump renders all counters as a table, sorted by name.
+func (r *Registry) Dump() *Table {
+	t := NewTable("counters", "name", "value")
+	for _, n := range r.CounterNames() {
+		t.AddRow(n, r.counters[n].Value)
+	}
+	return t
+}

@@ -1,0 +1,175 @@
+package unimem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ecoscale/internal/sim"
+)
+
+func TestReplicateAndReadLocal(t *testing.T) {
+	eng, s, _ := newSpace(t, 4)
+	addr := s.Alloc(0, 4096)
+	s.PokeWord(addr, 77)
+	done := false
+	s.Replicate(addr, 3, func() { done = true })
+	eng.RunUntilIdle()
+	if !done || s.Replicas(addr) != 1 {
+		t.Fatalf("replication failed: done=%v replicas=%d", done, s.Replicas(addr))
+	}
+	var got uint64
+	start := eng.Now()
+	var tRep sim.Time
+	s.ReplicatedRead(3, addr, 8, func(b []byte) {
+		got = uint64(b[0])
+		tRep = eng.Now() - start
+	})
+	eng.RunUntilIdle()
+	if got != 77 {
+		t.Errorf("replica read = %d, want 77", got)
+	}
+	// Compare with a plain remote read.
+	start = eng.Now()
+	var tRemote sim.Time
+	s.Read(3, addr, 8, func([]byte) { tRemote = eng.Now() - start })
+	eng.RunUntilIdle()
+	if tRep >= tRemote {
+		t.Errorf("replica read (%v) should beat remote read (%v)", tRep, tRemote)
+	}
+}
+
+func TestReplicateNoopAtOwner(t *testing.T) {
+	eng, s, reg := newSpace(t, 2)
+	addr := s.Alloc(0, 64)
+	done := false
+	s.Replicate(addr, 0, func() { done = true })
+	eng.RunUntilIdle()
+	if !done || s.Replicas(addr) != 0 {
+		t.Error("owner replication should be a no-op")
+	}
+	if reg.Counter("unimem.replications").Value != 0 {
+		t.Error("no-op replication counted")
+	}
+}
+
+func TestReplicateIdempotent(t *testing.T) {
+	eng, s, reg := newSpace(t, 4)
+	addr := s.Alloc(0, 64)
+	s.Replicate(addr, 2, nil)
+	eng.RunUntilIdle()
+	s.Replicate(addr, 2, nil)
+	eng.RunUntilIdle()
+	if s.Replicas(addr) != 1 || reg.Counter("unimem.replications").Value != 1 {
+		t.Error("duplicate replication not coalesced")
+	}
+}
+
+func TestNearestReplicaChosen(t *testing.T) {
+	// Tree 2x2: workers 0,1 in CN0; 2,3 in CN1. Data at 0, replica at 2.
+	// Worker 3 should read from 2 (1 hop) rather than 0 (2 hops).
+	eng, s, _ := newSpace(t, 2, 2)
+	addr := s.Alloc(0, 4096)
+	s.Replicate(addr, 2, nil)
+	eng.RunUntilIdle()
+	if got := s.readSource(3, addr); got != 2 {
+		t.Errorf("read source for worker 3 = %d, want nearest replica 2", got)
+	}
+	if got := s.readSource(1, addr); got != 0 {
+		t.Errorf("read source for worker 1 = %d, want owner 0 (same CN)", got)
+	}
+	if got := s.readSource(2, addr); got != 2 {
+		t.Errorf("read source for holder = %d, want itself", got)
+	}
+}
+
+func TestWriteInvalidatesReplicas(t *testing.T) {
+	eng, s, reg := newSpace(t, 4)
+	addr := s.Alloc(0, 4096)
+	s.Replicate(addr, 1, nil)
+	s.Replicate(addr, 2, nil)
+	eng.RunUntilIdle()
+	if s.Replicas(addr) != 2 {
+		t.Fatal("setup failed")
+	}
+	done := false
+	s.ReplicatedWrite(3, addr, []byte{9}, func() { done = true })
+	eng.RunUntilIdle()
+	if !done {
+		t.Fatal("write never completed")
+	}
+	if s.Replicas(addr) != 0 {
+		t.Error("replicas survived a write — stale-data hazard")
+	}
+	if reg.Counter("unimem.replica_invalidations").Value != 1 {
+		t.Error("invalidation not counted")
+	}
+	if s.Peek(addr, 1)[0] != 9 {
+		t.Error("write lost")
+	}
+}
+
+func TestReplicatedWriteWithoutReplicas(t *testing.T) {
+	eng, s, _ := newSpace(t, 2)
+	addr := s.Alloc(0, 64)
+	done := false
+	s.ReplicatedWrite(1, addr, []byte{5}, func() { done = true })
+	eng.RunUntilIdle()
+	if !done || s.Peek(addr, 1)[0] != 5 {
+		t.Error("plain replicated write failed")
+	}
+}
+
+func TestReplicatedReadFallsBackToOwner(t *testing.T) {
+	eng, s, _ := newSpace(t, 4)
+	addr := s.Alloc(1, 64)
+	s.PokeWord(addr, 13)
+	var got uint64
+	s.ReplicatedRead(2, addr, 8, func(b []byte) { got = uint64(b[0]) })
+	eng.RunUntilIdle()
+	if got != 13 {
+		t.Errorf("fallback read = %d", got)
+	}
+}
+
+func TestReplicatePanics(t *testing.T) {
+	_, s, _ := newSpace(t, 2)
+	addr := s.Alloc(0, 64)
+	defer func() {
+		if recover() == nil {
+			t.Error("bad holder did not panic")
+		}
+	}()
+	s.Replicate(addr, 7, nil)
+}
+
+// Property: after any mix of replicate/write, a read always returns the
+// last written value (no stale replicas observable through the API).
+func TestReplicaConsistencyProperty(t *testing.T) {
+	prop := func(ops []uint8) bool {
+		eng, s, _ := newSpace(t, 4)
+		addr := s.Alloc(0, 4096)
+		var last byte
+		for i, op := range ops {
+			w := int(op) % 4
+			switch op % 3 {
+			case 0:
+				s.Replicate(addr, w, nil)
+			case 1:
+				last = byte(i + 1)
+				s.ReplicatedWrite(w, addr, []byte{last}, nil)
+			case 2:
+				ok := true
+				s.ReplicatedRead(w, addr, 1, func(b []byte) { ok = b[0] == last })
+				eng.RunUntilIdle()
+				if !ok {
+					return false
+				}
+			}
+			eng.RunUntilIdle()
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

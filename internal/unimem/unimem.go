@@ -1,0 +1,471 @@
+// Package unimem implements the UNIMEM architecture the ECOSCALE design
+// builds on (§2, §4.1, inherited from the EUROSERVER project): a shared,
+// partitioned global address space in which Workers communicate "via
+// regular loads and stores without global cache coherence".
+//
+// The consistency model is the paper's: "From the point of view of a
+// processor in a multi-node machine, a memory page can be cacheable at
+// the local coherent node or at a remote coherent node, but not at both.
+// This is the basis of the UNIMEM consistency model, which eliminates
+// global-scope cache coherence protocols providing a scalable solution."
+//
+// Each page therefore has exactly one *owner* (the Worker whose DRAM
+// holds it) and exactly one *cacher* (the single Worker allowed to hold
+// its lines in cache — by default the owner). Moving the caching right
+// flushes and invalidates at the old cacher first, so no stale copy can
+// survive. There is no invalidation broadcast, no sharer list, no ack
+// storm: that is the entire scalability argument, measured in E3.
+//
+// Timing is modelled on the simulated interconnect and DRAM; data is held
+// in a real backing store so computations produce checkable results.
+// Cached writes are applied to the backing store immediately (write-
+// through data semantics) while their timing follows write-back rules;
+// the single-cacher invariant makes this sound.
+package unimem
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"ecoscale/internal/mem"
+	"ecoscale/internal/noc"
+	"ecoscale/internal/sim"
+	"ecoscale/internal/trace"
+)
+
+// Config shapes a UNIMEM space.
+type Config struct {
+	// PageBytes is the ownership/caching granularity.
+	PageBytes int
+	// CacheCfg shapes each Worker's local cache.
+	CacheCfg mem.CacheConfig
+	// DRAMCfg shapes each Worker's DRAM channel.
+	DRAMCfg mem.DRAMConfig
+	// CtrlBytes is the size of a request header on the wire.
+	CtrlBytes int
+}
+
+// DefaultConfig returns 4 KiB pages with default cache and DRAM models.
+func DefaultConfig() Config {
+	return Config{
+		PageBytes: 4096,
+		CacheCfg:  mem.DefaultL2Config(),
+		DRAMCfg:   mem.DefaultDRAMConfig(),
+		CtrlBytes: 16,
+	}
+}
+
+type page struct {
+	owner  int
+	cacher int
+	data   []byte
+}
+
+type workerMem struct {
+	cache  *mem.Cache
+	dram   *mem.DRAM
+	atomic *sim.Resource
+	mbox   *sim.FIFO[Message]
+}
+
+// Message is a small interprocessor message delivered to a Worker's
+// mailbox, modelling the progressive-address-translation load/store
+// communication path the paper cites [12].
+type Message struct {
+	From    int
+	Payload uint64
+}
+
+// Space is one UNIMEM global address space (one PGAS domain in ECOSCALE
+// terms, spanning the Workers of a Compute Node — or several, when used
+// for the whole-system experiments).
+type Space struct {
+	net     *noc.Network
+	cfg     Config
+	reg     *trace.Registry
+	pages   map[uint64]*page
+	workers []*workerMem
+	next    uint64 // next free page number
+	reps    map[uint64]*replicaState
+}
+
+// NewSpace creates a space over the network's workers.
+func NewSpace(net *noc.Network, cfg Config, reg *trace.Registry) *Space {
+	if cfg.PageBytes <= 0 || cfg.PageBytes%mem.LineBytes != 0 {
+		panic("unimem: page size must be a positive multiple of the line size")
+	}
+	n := net.Topology().NumWorkers()
+	s := &Space{net: net, cfg: cfg, reg: reg, pages: map[uint64]*page{}, next: 1}
+	eng := net.Engine()
+	for i := 0; i < n; i++ {
+		s.workers = append(s.workers, &workerMem{
+			cache:  mem.NewCache(cfg.CacheCfg),
+			dram:   mem.NewDRAM(eng, cfg.DRAMCfg),
+			atomic: sim.NewResource(eng, fmt.Sprintf("atomic-%d", i), 1),
+			mbox:   sim.NewFIFO[Message](),
+		})
+	}
+	return s
+}
+
+// Engine returns the simulation engine.
+func (s *Space) Engine() *sim.Engine { return s.net.Engine() }
+
+// Network returns the interconnect the space runs on.
+func (s *Space) Network() *noc.Network { return s.net }
+
+// PageBytes returns the page granularity.
+func (s *Space) PageBytes() int { return s.cfg.PageBytes }
+
+// NumWorkers returns the number of Workers sharing the space.
+func (s *Space) NumWorkers() int { return len(s.workers) }
+
+// Cache returns worker w's cache (for inspection in tests/benches).
+func (s *Space) Cache(w int) *mem.Cache { return s.workers[w].cache }
+
+// DRAM returns worker w's DRAM channel.
+func (s *Space) DRAM(w int) *mem.DRAM { return s.workers[w].dram }
+
+func (s *Space) count(name string) {
+	if s.reg != nil {
+		s.reg.Counter("unimem." + name).Inc()
+	}
+}
+
+// Alloc reserves size bytes of globally addressable memory owned by
+// worker owner and returns the base address. Allocations are page-
+// granular and never recycled (the experiments build fresh spaces).
+func (s *Space) Alloc(owner, size int) uint64 {
+	if owner < 0 || owner >= len(s.workers) {
+		panic(fmt.Sprintf("unimem: bad owner %d", owner))
+	}
+	if size <= 0 {
+		panic("unimem: Alloc size must be positive")
+	}
+	npages := (size + s.cfg.PageBytes - 1) / s.cfg.PageBytes
+	base := s.next * uint64(s.cfg.PageBytes)
+	for i := 0; i < npages; i++ {
+		s.pages[s.next] = &page{owner: owner, cacher: owner, data: make([]byte, s.cfg.PageBytes)}
+		s.next++
+	}
+	return base
+}
+
+func (s *Space) pageOf(addr uint64) *page {
+	p, ok := s.pages[addr/uint64(s.cfg.PageBytes)]
+	if !ok {
+		panic(fmt.Sprintf("unimem: access to unallocated address %#x", addr))
+	}
+	return p
+}
+
+// OwnerOf returns the Worker whose DRAM holds the page containing addr.
+func (s *Space) OwnerOf(addr uint64) int { return s.pageOf(addr).owner }
+
+// CacherOf returns the single Worker allowed to cache the page.
+func (s *Space) CacherOf(addr uint64) int { return s.pageOf(addr).cacher }
+
+// checkSpan panics when [addr, addr+size) crosses a page boundary; the
+// bulk helpers split transfers so individual ops never do.
+func (s *Space) checkSpan(addr uint64, size int) {
+	if size <= 0 {
+		panic("unimem: access size must be positive")
+	}
+	if int(addr%uint64(s.cfg.PageBytes))+size > s.cfg.PageBytes {
+		panic(fmt.Sprintf("unimem: access %#x+%d crosses a page boundary", addr, size))
+	}
+}
+
+// SetCacher moves the page's caching right to node, flushing and
+// invalidating the old cacher first so the one-copy invariant holds.
+// done runs when the transfer of rights (including flush traffic) is
+// complete.
+func (s *Space) SetCacher(addr uint64, node int, done func()) {
+	p := s.pageOf(addr)
+	if node < 0 || node >= len(s.workers) {
+		panic(fmt.Sprintf("unimem: bad cacher %d", node))
+	}
+	if p.cacher == node {
+		if done != nil {
+			done()
+		}
+		return
+	}
+	old := p.cacher
+	pageBase := addr / uint64(s.cfg.PageBytes) * uint64(s.cfg.PageBytes)
+	_, dirty := s.workers[old].cache.InvalidateRange(pageBase, s.cfg.PageBytes)
+	s.count("cacher_moves")
+	finish := func() {
+		p.cacher = node
+		if done != nil {
+			done()
+		}
+	}
+	if dirty == 0 || old == p.owner {
+		// Nothing to push over the wire (clean, or dirty lines already
+		// live in the owner's DRAM).
+		finish()
+		return
+	}
+	// Write the dirty lines back to the owner before handing off.
+	wg := sim.NewWaitGroup(s.Engine(), dirty)
+	for i := 0; i < dirty; i++ {
+		s.net.Send(old, p.owner, mem.LineBytes, noc.Store, func() {
+			s.workers[p.owner].dram.Access(mem.LineBytes, wg.DoneOne)
+		})
+	}
+	wg.Wait(finish)
+}
+
+// Read performs a load of size bytes at addr by worker node, delivering
+// the data to done when it arrives. The path depends on the node's
+// relationship to the page, exactly as §4.1 describes:
+//
+//   - node == cacher: cache hit, or line fill from the owner's DRAM
+//     (local or over the interconnect).
+//   - node == owner but not cacher: DRAM access, uncached.
+//   - otherwise: uncached remote load — a round trip to the owner.
+func (s *Space) Read(node int, addr uint64, size int, done func(data []byte)) {
+	s.checkSpan(addr, size)
+	p := s.pageOf(addr)
+	w := s.workers[node]
+	deliver := func() {
+		if done != nil {
+			off := addr % uint64(s.cfg.PageBytes)
+			buf := make([]byte, size)
+			copy(buf, p.data[off:])
+			done(buf)
+		}
+	}
+	switch {
+	case p.cacher == node:
+		res := w.cache.Access(addr, false)
+		s.handleEviction(node, p, res)
+		if res.Hit {
+			s.count("cache_hits")
+			s.Engine().After(s.cfg.CacheCfg.HitLatency, deliver)
+			return
+		}
+		s.count("cache_fills")
+		if p.owner == node {
+			w.dram.Access(mem.LineBytes, deliver)
+			return
+		}
+		s.net.Send(node, p.owner, s.cfg.CtrlBytes, noc.Load, func() {
+			s.workers[p.owner].dram.Access(mem.LineBytes, func() {
+				s.net.Send(p.owner, node, mem.LineBytes, noc.Load, deliver)
+			})
+		})
+	case p.owner == node:
+		s.count("local_uncached")
+		w.dram.Access(size, deliver)
+	default:
+		s.count("remote_reads")
+		s.net.Send(node, p.owner, s.cfg.CtrlBytes, noc.Load, func() {
+			s.workers[p.owner].dram.Access(size, func() {
+				s.net.Send(p.owner, node, size, noc.Load, deliver)
+			})
+		})
+	}
+}
+
+// Write performs a store of data at addr by worker node. done runs when
+// the store is globally performed (at the owner, or dirty in the single
+// legal cache).
+func (s *Space) Write(node int, addr uint64, data []byte, done func()) {
+	s.checkSpan(addr, len(data))
+	p := s.pageOf(addr)
+	w := s.workers[node]
+	off := addr % uint64(s.cfg.PageBytes)
+	copy(p.data[off:], data) // data plane: applied immediately (see package doc)
+	finish := func() {
+		if done != nil {
+			done()
+		}
+	}
+	switch {
+	case p.cacher == node:
+		res := w.cache.Access(addr, true)
+		s.handleEviction(node, p, res)
+		if res.Hit {
+			s.count("cache_hits")
+			s.Engine().After(s.cfg.CacheCfg.HitLatency, finish)
+			return
+		}
+		s.count("cache_fills")
+		if p.owner == node {
+			w.dram.Access(mem.LineBytes, finish)
+			return
+		}
+		// Write-allocate: fetch the line, then dirty it locally.
+		s.net.Send(node, p.owner, s.cfg.CtrlBytes, noc.Load, func() {
+			s.workers[p.owner].dram.Access(mem.LineBytes, func() {
+				s.net.Send(p.owner, node, mem.LineBytes, noc.Load, finish)
+			})
+		})
+	case p.owner == node:
+		s.count("local_uncached")
+		w.dram.Access(len(data), finish)
+	default:
+		s.count("remote_writes")
+		// Uncached remote store: posted write + ack.
+		s.net.Send(node, p.owner, len(data)+s.cfg.CtrlBytes, noc.Store, func() {
+			s.workers[p.owner].dram.Access(len(data), func() {
+				s.net.Send(p.owner, node, s.cfg.CtrlBytes, noc.Store, finish)
+			})
+		})
+	}
+}
+
+// handleEviction charges the write-back cost of a dirty eviction from
+// node's cache: to local DRAM when node owns the victim page, or across
+// the interconnect to the victim's owner.
+func (s *Space) handleEviction(node int, _ *page, res mem.AccessResult) {
+	if !res.Evicted || !res.WritebackNeeded {
+		return
+	}
+	vp, ok := s.pages[res.EvictedAddr/uint64(s.cfg.PageBytes)]
+	if !ok {
+		return
+	}
+	s.count("writebacks")
+	if vp.owner == node {
+		s.workers[node].dram.Access(mem.LineBytes, nil)
+		return
+	}
+	s.net.Send(node, vp.owner, mem.LineBytes, noc.Store, func() {
+		s.workers[vp.owner].dram.Access(mem.LineBytes, nil)
+	})
+}
+
+// ReadWord loads a 64-bit little-endian word.
+func (s *Space) ReadWord(node int, addr uint64, done func(v uint64)) {
+	s.Read(node, addr, 8, func(b []byte) {
+		if done != nil {
+			done(binary.LittleEndian.Uint64(b))
+		}
+	})
+}
+
+// WriteWord stores a 64-bit little-endian word.
+func (s *Space) WriteWord(node int, addr uint64, v uint64, done func()) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	s.Write(node, addr, b[:], done)
+}
+
+// Peek reads data directly from the backing store with no timing; for
+// result verification in tests and benches.
+func (s *Space) Peek(addr uint64, size int) []byte {
+	s.checkSpan(addr, size)
+	p := s.pageOf(addr)
+	off := addr % uint64(s.cfg.PageBytes)
+	out := make([]byte, size)
+	copy(out, p.data[off:])
+	return out
+}
+
+// PeekWord reads a 64-bit word with no timing.
+func (s *Space) PeekWord(addr uint64) uint64 {
+	return binary.LittleEndian.Uint64(s.Peek(addr, 8))
+}
+
+// Poke writes data directly with no timing; for test setup.
+func (s *Space) Poke(addr uint64, data []byte) {
+	s.checkSpan(addr, len(data))
+	p := s.pageOf(addr)
+	copy(p.data[addr%uint64(s.cfg.PageBytes):], data)
+}
+
+// PokeWord writes a 64-bit word with no timing.
+func (s *Space) PokeWord(addr uint64, v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	s.Poke(addr, b[:])
+}
+
+// AtomicRMW performs an atomic read-modify-write at the page owner: the
+// operation travels to the owner, executes there under the owner's
+// atomic unit (serializing concurrent atomics), and the old value
+// returns. This is the remote-synchronization path that makes small
+// load/store messages preferable to DMA (§4.1).
+func (s *Space) AtomicRMW(node int, addr uint64, f func(old uint64) uint64, done func(old uint64)) {
+	s.checkSpan(addr, 8)
+	p := s.pageOf(addr)
+	owner := p.owner
+	exec := func() {
+		s.workers[owner].atomic.Acquire(func() {
+			s.workers[owner].dram.Access(8, func() {
+				old := s.PeekWord(addr)
+				s.PokeWord(addr, f(old))
+				s.workers[owner].atomic.Release()
+				if node == owner {
+					if done != nil {
+						done(old)
+					}
+					return
+				}
+				s.net.Send(owner, node, s.cfg.CtrlBytes, noc.Sync, func() {
+					if done != nil {
+						done(old)
+					}
+				})
+			})
+		})
+	}
+	s.count("atomics")
+	if node == owner {
+		exec()
+		return
+	}
+	s.net.Send(node, owner, s.cfg.CtrlBytes, noc.Sync, exec)
+}
+
+// Notify sends a small interprocessor message to dst's mailbox (the
+// "messages to synchronize remote threads" of §4.1), raising the
+// mailbox as an interrupt-class transaction.
+func (s *Space) Notify(src, dst int, payload uint64, done func()) {
+	s.count("notifies")
+	s.net.Send(src, dst, s.cfg.CtrlBytes, noc.Interrupt, func() {
+		s.workers[dst].mbox.Push(Message{From: src, Payload: payload})
+		if done != nil {
+			done()
+		}
+	})
+}
+
+// Mailbox returns worker w's message queue; consumers use Pop to park
+// until a message arrives.
+func (s *Space) Mailbox(w int) *sim.FIFO[Message] { return s.workers[w].mbox }
+
+// MigratePage moves the page containing addr to a new owner: the old
+// cacher is flushed, the page bytes stream over as a DMA transfer, and
+// ownership plus caching right land at the destination. This is the
+// "move tasks and processes close to data instead of moving data around"
+// machinery's inverse — data moves when the runtime decides locality is
+// better served that way.
+func (s *Space) MigratePage(addr uint64, newOwner int, done func()) {
+	p := s.pageOf(addr)
+	if newOwner < 0 || newOwner >= len(s.workers) {
+		panic(fmt.Sprintf("unimem: bad owner %d", newOwner))
+	}
+	if p.owner == newOwner {
+		if done != nil {
+			done()
+		}
+		return
+	}
+	s.count("migrations")
+	s.SetCacher(addr, p.owner, func() {
+		old := p.owner
+		s.net.DMATransfer(old, newOwner, s.cfg.PageBytes, noc.DefaultDMAConfig(), func() {
+			s.workers[newOwner].dram.Access(s.cfg.PageBytes, func() {
+				p.owner = newOwner
+				p.cacher = newOwner
+				if done != nil {
+					done()
+				}
+			})
+		})
+	})
+}

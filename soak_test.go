@@ -1,0 +1,158 @@
+package ecoscale_test
+
+// Soak test: a larger machine running a mixed workload with the
+// reconfiguration daemon, work stealing and model-driven dispatch all
+// active at once, checking the cross-module conservation invariants
+// (no task lost or duplicated, energy monotone, per-kernel results
+// still correct).
+
+import (
+	"math"
+	"testing"
+
+	"ecoscale"
+	"ecoscale/internal/accel"
+	"ecoscale/internal/hls"
+	"ecoscale/internal/rts"
+	"ecoscale/internal/sim"
+)
+
+func TestSoakMixedWorkloadLargeMachine(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	cfg := ecoscale.DefaultConfig(8, 4) // 32 workers
+	cfg.Balance = ecoscale.Lazy
+	cfg.CompressedBitstreams = true
+	m := ecoscale.New(cfg)
+
+	// Deploy three kernels on scattered workers; register the rest with
+	// the daemon's library so it can deploy them if they get hot.
+	kernels := []string{"vecadd", "reduce", "cartsplit"}
+	dirs := ecoscale.Directives{Unroll: 8, MemPorts: 8, Share: 1, Pipeline: true}
+	for i, name := range kernels {
+		w, err := ecoscale.KernelByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.DeployKernel(w.Source, dirs, i*8); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mc, _ := ecoscale.KernelByName("montecarlo")
+	mcImpl, err := hls.Synthesize(mc.Kernel(), dirs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Daemon.Register(mcImpl)
+	m.Daemon.Start()
+
+	for _, s := range m.Scheds {
+		s.Policy = rts.PolicyModel{}
+	}
+
+	rng := sim.NewRNG(7)
+	buf := m.Space.Alloc(0, 1<<20)
+	out := m.Space.Alloc(0, 4096)
+	names := append(kernels, "montecarlo")
+
+	const total = 600
+	completed := 0
+	var failures []error
+	for i := 0; i < total; i++ {
+		name := names[rng.Intn(len(names))]
+		w, _ := ecoscale.KernelByName(name)
+		n := 64 << rng.Intn(6) // 64..2048
+		args, bindings := w.Make(n, rng)
+		stats, err := hls.Run(w.Kernel(), args)
+		if err != nil {
+			t.Fatal(err)
+		}
+		target := rng.Intn(m.Workers())
+		m.Cluster.Submit(target, &rts.Task{
+			Kernel:   name,
+			Bindings: bindings,
+			Reads:    []accel.Span{{Addr: buf, Size: n * 8}},
+			Writes:   []accel.Span{{Addr: out, Size: 64}},
+			SWStats:  stats,
+		}, func(_ rts.Device, err error) {
+			completed++
+			if err != nil {
+				failures = append(failures, err)
+			}
+		})
+	}
+	m.Daemon.Stop()
+	m.Run()
+
+	if completed != total {
+		t.Fatalf("completed %d of %d tasks", completed, total)
+	}
+	if len(failures) > 0 {
+		t.Fatalf("%d task failures, first: %v", len(failures), failures[0])
+	}
+	var cpu, hw uint64
+	for _, s := range m.Scheds {
+		cpu += s.Executed(rts.DeviceCPU)
+		hw += s.Executed(rts.DeviceHW)
+	}
+	if cpu+hw != total {
+		t.Errorf("executed %d+%d != %d", cpu, hw, total)
+	}
+	if hw == 0 {
+		t.Error("model policy never used hardware in the soak")
+	}
+	domTotal, _ := m.Domain.Calls()
+	if domTotal != hw {
+		t.Errorf("domain calls %d != hw executions %d", domTotal, hw)
+	}
+	if e := m.Meter.Total(); e <= 0 || math.IsNaN(float64(e)) {
+		t.Errorf("energy total = %v", e)
+	}
+	if m.Eng.Pending() != 0 {
+		t.Errorf("%d events still pending after drain", m.Eng.Pending())
+	}
+}
+
+// TestSoakDeterminism: the identical soak twice must produce identical
+// simulated end times and execution splits — the reproducibility pillar.
+func TestSoakDeterminism(t *testing.T) {
+	run := func() (sim.Time, uint64) {
+		cfg := ecoscale.DefaultConfig(4, 2)
+		m := ecoscale.New(cfg)
+		w, _ := ecoscale.KernelByName("reduce")
+		if _, err := m.DeployKernel(w.Source,
+			ecoscale.Directives{Unroll: 8, MemPorts: 8, Share: 1, Pipeline: true}, 0); err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range m.Scheds {
+			s.Policy = rts.PolicyModel{}
+		}
+		rng := sim.NewRNG(3)
+		buf := m.Space.Alloc(0, 65536)
+		for i := 0; i < 120; i++ {
+			n := 64 << rng.Intn(5)
+			args, bindings := w.Make(n, rng)
+			stats, err := hls.Run(w.Kernel(), args)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m.Cluster.Submit(rng.Intn(m.Workers()), &rts.Task{
+				Kernel: "reduce", Bindings: bindings,
+				Reads:   []accel.Span{{Addr: buf, Size: n * 8}},
+				SWStats: stats,
+			}, nil)
+		}
+		end := m.Run()
+		var hw uint64
+		for _, s := range m.Scheds {
+			hw += s.Executed(rts.DeviceHW)
+		}
+		return end, hw
+	}
+	t1, hw1 := run()
+	t2, hw2 := run()
+	if t1 != t2 || hw1 != hw2 {
+		t.Errorf("non-deterministic: (%v,%d) vs (%v,%d)", t1, hw1, t2, hw2)
+	}
+}
