@@ -7,10 +7,12 @@
 //	ecobench            # run everything
 //	ecobench -run E3    # one experiment
 //	ecobench -csv       # CSV instead of aligned text
+//	ecobench -json      # machine-readable JSON instead of aligned text
 //	ecobench -list      # list experiments
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -19,9 +21,19 @@ import (
 	"ecoscale/internal/experiments"
 )
 
+// jsonResult is one experiment table in the -json output.
+type jsonResult struct {
+	ID      string     `json:"id"`
+	Title   string     `json:"title"`
+	Source  string     `json:"source"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+}
+
 func main() {
 	run := flag.String("run", "", "run only this experiment id (e.g. E3)")
 	csv := flag.Bool("csv", false, "emit CSV")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON")
 	list := flag.Bool("list", false, "list experiments and exit")
 	flag.Parse()
 
@@ -39,17 +51,33 @@ func main() {
 		}
 		reg = []experiments.Experiment{e}
 	}
+	var results []jsonResult
 	for _, e := range reg {
-		fmt.Printf("### %s — %s (%s)\n", e.ID, e.Title, e.Source)
+		if !*jsonOut {
+			fmt.Printf("### %s — %s (%s)\n", e.ID, e.Title, e.Source)
+		}
 		tbl, err := e.Run()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.ID, err)
 			os.Exit(1)
 		}
-		if *csv {
+		switch {
+		case *jsonOut:
+			results = append(results, jsonResult{
+				ID: e.ID, Title: e.Title, Source: e.Source,
+				Columns: tbl.Columns, Rows: tbl.Rows,
+			})
+		case *csv:
 			fmt.Print(tbl.CSV())
-		} else {
+		default:
 			fmt.Println(tbl)
+		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(results); err != nil {
+			log.Fatal(err)
 		}
 	}
 }

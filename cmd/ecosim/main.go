@@ -13,7 +13,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"ecoscale"
 	"ecoscale/internal/accel"
@@ -37,8 +39,12 @@ func main() {
 	ports := flag.Int("ports", 8, "HLS memory ports for the deployed engine")
 	compress := flag.Bool("compress", true, "compressed bitstream loading")
 	seed := flag.Int64("seed", 1, "simulation seed")
-	flowTrace := flag.Bool("flowtrace", false, "print the Fig. 5 layer-interaction trace (first 40 events)")
+	flowTrace := flag.Bool("flowtrace", false, "print the Fig. 5 layer-interaction trace")
+	flowCap := flag.Int("flowcap", 40, "max layer-interaction events to print with -flowtrace")
 	diagram := flag.Bool("diagram", false, "print Worker 0's Fig. 4 block diagram before running")
+	traceOut := flag.String("trace", "", "write a Chrome/Perfetto trace-event JSON file")
+	metricsOut := flag.String("metrics", "", "write a Prometheus text-format metrics snapshot")
+	metricsJSON := flag.String("metrics-json", "", "write a JSON metrics snapshot")
 	flag.Parse()
 
 	w, err := workload.ByName(*kernelName)
@@ -50,6 +56,7 @@ func main() {
 	cfg.Seed = *seed
 	cfg.CompressedBitstreams = *compress
 	cfg.FlowTrace = *flowTrace
+	cfg.Trace = *traceOut != ""
 	switch *sharing {
 	case "shared":
 		cfg.Sharing = ecoscale.Shared
@@ -136,8 +143,8 @@ func main() {
 	}
 	if *flowTrace && m.Flow != nil {
 		evs := m.Flow.Events()
-		if len(evs) > 40 {
-			evs = evs[:40]
+		if *flowCap > 0 && len(evs) > *flowCap {
+			evs = evs[:*flowCap]
 		}
 		fmt.Println()
 		fmt.Println("== layer interaction flow (Fig. 5), first events ==")
@@ -145,4 +152,40 @@ func main() {
 			fmt.Printf("%12.3fus  %-12s %s\n", float64(e.AtPs)/1e6, e.Layer, e.Event)
 		}
 	}
+	if *traceOut != "" {
+		if err := writeFile(*traceOut, m.Tracer.WriteChrome); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %d trace spans to %s", m.Tracer.Len(), *traceOut)
+		if d := m.Tracer.Dropped(); d > 0 {
+			fmt.Printf(" (%d dropped at cap)", d)
+		}
+		fmt.Println()
+	}
+	if *metricsOut != "" {
+		if err := writeFile(*metricsOut, m.Reg.WritePrometheus); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote metrics to %s\n", *metricsOut)
+	}
+	if *metricsJSON != "" {
+		if err := writeFile(*metricsJSON, m.Reg.WriteJSON); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote metrics to %s\n", *metricsJSON)
+	}
+}
+
+// writeFile streams render into path, reporting the first error from
+// either the renderer or the file.
+func writeFile(path string, render func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := render(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

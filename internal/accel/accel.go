@@ -86,6 +86,11 @@ type Manager struct {
 	StreamWindow int
 	// Flow, when non-nil, records the Fig. 5 layer-interaction trace.
 	Flow *trace.FlowLog
+	// Trace, when non-nil, records doorbell/SMMU and hardware-compute
+	// spans on this Worker's fabric lane.
+	Trace *trace.Tracer
+	// Reg, when non-nil, receives the lat.* latency histograms.
+	Reg *trace.Registry
 
 	eng       *sim.Engine
 	instances map[string]*Instance
@@ -250,6 +255,7 @@ func (in *Instance) Invoke(caller int, spec CallSpec, done func(error)) {
 	}
 	// Doorbell: a small store transaction from caller to the hosting
 	// Worker (free when local).
+	issued := m.eng.Now()
 	m.Space.Network().Send(caller, in.Worker, 16, noc.Store, func() {
 		m.Flow.Add(int64(m.eng.Now()), "middleware", "doorbell for %s at worker %d (from w%d)",
 			in.Placement.Module.Name, in.Worker, caller)
@@ -257,6 +263,9 @@ func (in *Instance) Invoke(caller int, spec CallSpec, done func(error)) {
 		// subsequent line accesses hit the TLB and are folded into the
 		// stream model.
 		m.translate(in.StreamID, spec, func(terr error) {
+			m.Trace.Add(trace.Span{Name: in.Placement.Module.Name, Cat: trace.CatSMMU,
+				Start: int64(issued), End: int64(m.eng.Now()),
+				PID: trace.WorkerPID(in.Worker), TID: trace.TIDFabric, Arg: int64(caller)})
 			if terr != nil {
 				m.Flow.Add(int64(m.eng.Now()), "middleware", "SMMU fault: %v", terr)
 				finish(terr)
@@ -308,6 +317,7 @@ func (in *Instance) execute(spec CallSpec, finish func(error)) {
 	compute := func() {
 		m.Flow.Add(int64(m.eng.Now()), "hardware", "%s@w%d: arguments streamed in, entering pipeline (II=%d)",
 			in.Placement.Module.Name, in.Worker, in.Impl.II())
+		cstart := m.eng.Now()
 		hold := occ
 		tail := drain
 		if !m.Virtualize {
@@ -320,6 +330,13 @@ func (in *Instance) execute(spec CallSpec, finish func(error)) {
 			m.eng.After(tail, func() {
 				m.Flow.Add(int64(m.eng.Now()), "hardware", "%s@w%d: pipeline drained, streaming results",
 					in.Placement.Module.Name, in.Worker)
+				m.Trace.Add(trace.Span{Name: in.Placement.Module.Name, Cat: trace.CatCompute,
+					Start: int64(cstart), End: int64(m.eng.Now()),
+					PID: trace.WorkerPID(in.Worker), TID: trace.TIDFabric, Detail: "hw"})
+				if m.Reg != nil {
+					trace.LatencyHistogram(m.Reg, "lat.compute_hw_us").
+						Observe((m.eng.Now() - cstart).Micros())
+				}
 				m.chargeEnergy(spec)
 				// Apply the data plane, then stream the results out
 				// (an identity write-back of the now-final bytes).

@@ -54,6 +54,12 @@ type Config struct {
 	MappedBytes int
 	// FlowTrace enables the Fig. 5 layer-interaction log (Machine.Flow).
 	FlowTrace bool
+	// Trace enables the span tracer (Machine.Tracer): task-lifecycle
+	// spans across every layer, exportable as Chrome trace-event JSON.
+	Trace bool
+	// TraceCap bounds retained spans (0 = unbounded); spans past the
+	// cap are counted, not stored.
+	TraceCap int
 }
 
 // DefaultConfig returns a 2-level machine: workersPerCN Workers in each
@@ -89,6 +95,7 @@ type Machine struct {
 	Daemon   *rts.Daemon
 	Comm     *mpi.Comm
 	Flow     *trace.FlowLog
+	Tracer   *trace.Tracer
 }
 
 // New builds a machine from the configuration.
@@ -108,12 +115,30 @@ func New(cfg Config) *Machine {
 	m.Space = unimem.NewSpace(m.Net, cfg.Unimem, m.Reg)
 
 	workers := m.Tree.NumWorkers()
+	if cfg.Trace {
+		m.Tracer = trace.NewTracer(cfg.TraceCap)
+		m.Tracer.SetProcessName(trace.PIDSystem, "control plane")
+		m.Tracer.SetThreadName(trace.PIDSystem, 0, "reconfig daemon")
+		m.Space.Trace = m.Tracer
+		for w := 0; w < workers; w++ {
+			pid := trace.WorkerPID(w)
+			m.Tracer.SetProcessName(pid, fmt.Sprintf("worker %d", w))
+			m.Tracer.SetThreadName(pid, trace.TIDCPU, "cpu")
+			m.Tracer.SetThreadName(pid, trace.TIDFabric, "fabric")
+			m.Tracer.SetThreadName(pid, trace.TIDDMA, "dma")
+		}
+	}
 	for w := 0; w < workers; w++ {
 		fab := fabric.New(m.Eng, cfg.Fabric, m.Meter)
+		fab.Trace = m.Tracer
+		fab.TracePID = trace.WorkerPID(w)
+		fab.Reg = m.Reg
 		mmu := smmu.New(cfg.SMMU)
 		mgr := accel.NewManager(w, fab, m.Space, mmu, m.Meter)
 		mgr.Virtualize = cfg.Virtualize
 		mgr.Compressed = cfg.CompressedBitstreams
+		mgr.Trace = m.Tracer
+		mgr.Reg = m.Reg
 		m.identityMap(mmu, w)
 		m.Managers = append(m.Managers, mgr)
 		// Static power for the Worker's components.
@@ -130,13 +155,21 @@ func New(cfg Config) *Machine {
 	m.Domain = unilogic.NewDomain(m.Tree, m.Managers, m.Eng)
 	m.Domain.Policy = cfg.Sharing
 	m.Domain.Flow = m.Flow
+	m.Domain.Trace = m.Tracer
+	m.Domain.Reg = m.Reg
 	for w := 0; w < workers; w++ {
 		s := rts.NewScheduler(w, m.Domain, m.Eng, m.Meter)
 		s.Flow = m.Flow
+		s.Trace = m.Tracer
+		s.Reg = m.Reg
 		m.Scheds = append(m.Scheds, s)
 	}
 	m.Cluster = rts.NewCluster(cfg.Balance, m.Scheds, m.Net)
+	m.Cluster.Trace = m.Tracer
+	m.Cluster.Reg = m.Reg
 	m.Daemon = rts.NewDaemon(m.Domain, m.Scheds, m.Eng)
+	m.Daemon.Trace = m.Tracer
+	m.Daemon.Reg = m.Reg
 	m.Comm = mpi.WorldComm(m.Net)
 	return m
 }
@@ -219,6 +252,41 @@ func (m *Machine) Report() string {
 		hw += s.Executed(rts.DeviceHW)
 	}
 	fmt.Fprintf(&b, "tasks: %d on cpu, %d in hardware\n", cpu, hw)
+	if breakdown := m.latencyBreakdown(); breakdown != "" {
+		b.WriteString(breakdown)
+	}
+	return b.String()
+}
+
+// latencyBreakdown renders queue/reconfig/DMA/compute latency quantiles
+// from the always-on registry histograms. Stages with no samples are
+// skipped; with no samples at all the section is omitted entirely.
+func (m *Machine) latencyBreakdown() string {
+	stages := []struct{ label, key string }{
+		{"queue wait", "lat.queue_us"},
+		{"reconfig", "lat.reconfig_us"},
+		{"dma", "lat.dma_us"},
+		{"compute (cpu)", "lat.compute_cpu_us"},
+		{"compute (hw)", "lat.compute_hw_us"},
+		{"task total", "lat.task_us"},
+	}
+	var b strings.Builder
+	any := false
+	for _, st := range stages {
+		h := m.Reg.FindHistogram(st.key)
+		if h == nil || h.Count() == 0 {
+			continue
+		}
+		if !any {
+			b.WriteString("latency breakdown (us):\n")
+			fmt.Fprintf(&b, "  %-14s %8s %10s %10s %10s %10s\n",
+				"stage", "n", "p50", "p90", "p99", "max")
+			any = true
+		}
+		fmt.Fprintf(&b, "  %-14s %8d %10.1f %10.1f %10.1f %10.1f\n",
+			st.label, h.Count(),
+			h.Quantile(0.50), h.Quantile(0.90), h.Quantile(0.99), h.Max())
+	}
 	return b.String()
 }
 

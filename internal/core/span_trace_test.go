@@ -1,0 +1,142 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"ecoscale/internal/accel"
+	"ecoscale/internal/hls"
+	"ecoscale/internal/rts"
+	"ecoscale/internal/trace"
+)
+
+// runTraced builds a 2x1 machine with span tracing on, deploys the scale
+// kernel, and drives a small mixed CPU/HW workload through it.
+func runTraced(t *testing.T) *Machine {
+	t.Helper()
+	cfg := DefaultConfig(2, 1)
+	cfg.Trace = true
+	m := New(cfg)
+	if m.Tracer == nil {
+		t.Fatal("tracer not created")
+	}
+	if _, err := m.DeployKernel(srcScale, hls.DefaultDirectives(), 0); err != nil {
+		t.Fatal(err)
+	}
+	// Route through hardware so the full lifecycle (SMMU, DMA streams,
+	// fabric occupancy) is exercised; worker 1 keeps the CPU path.
+	m.Scheds[0].Policy = rts.PolicyHW{}
+	addr := m.Space.Alloc(0, 4096)
+	for i := 0; i < 8; i++ {
+		m.Scheds[i%2].Submit(&rts.Task{
+			Kernel:   "scale",
+			Bindings: map[string]float64{"N": 128},
+			Reads:    []accel.Span{{Addr: addr, Size: 1024}},
+			SWStats:  hls.RunStats{Ops: 256, Flops: 128, Loads: 128, Stores: 128},
+		}, nil)
+	}
+	m.Run()
+	return m
+}
+
+// TestMachineSpanLifecycle is the ISSUE acceptance check: an end-to-end
+// run must produce spans in at least the queue, reconfig, dma and
+// compute categories, and the export must be valid Chrome JSON.
+func TestMachineSpanLifecycle(t *testing.T) {
+	m := runTraced(t)
+
+	cats := map[string]int{}
+	for _, s := range m.Tracer.Spans() {
+		cats[s.Cat]++
+	}
+	for _, want := range []string{trace.CatQueue, trace.CatReconfig, trace.CatDMA,
+		trace.CatCompute, trace.CatTask, trace.CatDispatch} {
+		if cats[want] == 0 {
+			t.Errorf("no %q spans recorded (got %v)", want, cats)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := m.Tracer.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export invalid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) <= m.Tracer.Len() {
+		t.Fatalf("export has %d events for %d spans (metadata missing?)",
+			len(doc.TraceEvents), m.Tracer.Len())
+	}
+
+	// Lanes must be named for every worker plus the control plane.
+	names := map[string]bool{}
+	for _, e := range doc.TraceEvents {
+		if e["ph"] == "M" {
+			names[e["args"].(map[string]any)["name"].(string)] = true
+		}
+	}
+	for _, want := range []string{"control plane", "worker 0", "worker 1", "cpu", "fabric", "dma"} {
+		if !names[want] {
+			t.Errorf("missing lane metadata %q (got %v)", want, names)
+		}
+	}
+}
+
+// TestReportLatencyBreakdown checks the Report() table renders the
+// per-stage quantiles from the always-on registry histograms.
+func TestReportLatencyBreakdown(t *testing.T) {
+	m := runTraced(t)
+	r := m.Report()
+	if !strings.Contains(r, "latency breakdown (us):") {
+		t.Fatalf("report missing breakdown:\n%s", r)
+	}
+	for _, stage := range []string{"queue wait", "reconfig", "dma", "task total"} {
+		if !strings.Contains(r, stage) {
+			t.Errorf("breakdown missing stage %q:\n%s", stage, r)
+		}
+	}
+}
+
+// TestTraceDisabledByDefault: without Config.Trace the tracer must stay
+// nil (the zero-cost path) and the report must omit nothing else.
+func TestTraceDisabledByDefault(t *testing.T) {
+	m := New(DefaultConfig(2, 1))
+	if m.Tracer != nil {
+		t.Fatal("tracer created without Config.Trace")
+	}
+	if _, err := m.DeployKernel(srcScale, hls.DefaultDirectives(), 0); err != nil {
+		t.Fatal(err)
+	}
+	m.Run()
+	// The registry histograms still feed the breakdown with tracing off.
+	if !strings.Contains(m.Report(), "latency breakdown (us):") {
+		t.Error("breakdown should not require the span tracer")
+	}
+}
+
+// TestTraceDeterminism: two identically-seeded runs must export
+// byte-identical traces and reports.
+func TestTraceDeterminism(t *testing.T) {
+	var exports [2]string
+	var reports [2]string
+	for i := range exports {
+		m := runTraced(t)
+		var buf bytes.Buffer
+		if err := m.Tracer.WriteChrome(&buf); err != nil {
+			t.Fatal(err)
+		}
+		exports[i] = buf.String()
+		reports[i] = m.Report()
+	}
+	if exports[0] != exports[1] {
+		t.Error("trace export not deterministic")
+	}
+	if reports[0] != reports[1] {
+		t.Error("report not deterministic")
+	}
+}

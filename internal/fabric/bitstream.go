@@ -3,6 +3,7 @@ package fabric
 import (
 	"ecoscale/internal/energy"
 	"ecoscale/internal/sim"
+	"ecoscale/internal/trace"
 )
 
 // This file covers the configuration-data path: synthetic partial
@@ -113,11 +114,23 @@ func (f *Fabric) Load(p *Placement, opt LoadOptions, done func()) {
 	}
 	bytes := len(wire)
 	dur := sim.Time(float64(bytes) / f.cfg.PortBytesPerNs * float64(sim.Nanosecond))
+	start := f.eng.Now()
 	f.port.Use(dur, func() {
 		f.loads++
 		f.loadedBytes += uint64(bytes)
 		if f.meter != nil {
 			f.meter.Charge("reconfig", energy.Joules(bytes)*f.meter.Model.ReconfigPerByte)
+		}
+		// The span covers port queueing plus the transfer itself — the
+		// reconfiguration latency a task actually waits for.
+		f.Trace.Add(trace.Span{Name: p.Module.Name, Cat: trace.CatReconfig,
+			Start: int64(start), End: int64(f.eng.Now()),
+			PID: f.TracePID, TID: trace.TIDFabric, Arg: int64(bytes)})
+		if f.Reg != nil {
+			trace.LatencyHistogram(f.Reg, "lat.reconfig_us").
+				Observe((f.eng.Now() - start).Micros())
+			f.Reg.Counter("fabric.loads").Inc()
+			f.Reg.Counter("fabric.loaded_bytes").Add(uint64(bytes))
 		}
 		if done != nil {
 			done()

@@ -16,6 +16,7 @@ import (
 
 	"ecoscale/internal/energy"
 	"ecoscale/internal/sim"
+	"ecoscale/internal/trace"
 )
 
 // Resources is a vector of FPGA resource counts.
@@ -128,6 +129,15 @@ func (p *Placement) String() string {
 
 // Fabric is one Worker's reconfigurable block.
 type Fabric struct {
+	// Trace, when non-nil, records reconfiguration spans on lane
+	// (TracePID, TIDFabric).
+	Trace *trace.Tracer
+	// TracePID is the trace process id of the owning Worker.
+	TracePID int
+	// Reg, when non-nil, receives load counters and the reconfiguration
+	// latency histogram.
+	Reg *trace.Registry
+
 	cfg        Config
 	eng        *sim.Engine
 	meter      *energy.Meter

@@ -6,6 +6,7 @@ import (
 	"ecoscale/internal/accel"
 	"ecoscale/internal/hls"
 	"ecoscale/internal/sim"
+	"ecoscale/internal/trace"
 	"ecoscale/internal/unilogic"
 )
 
@@ -24,6 +25,10 @@ type Daemon struct {
 	Period sim.Time
 	// MaxPerTick bounds reconfigurations per tick.
 	MaxPerTick int
+	// Trace, when non-nil, records tick and deploy-decision events.
+	Trace *trace.Tracer
+	// Reg, when non-nil, receives deploy counters labelled by kernel.
+	Reg *trace.Registry
 
 	scheds  []*Scheduler
 	eng     *sim.Engine
@@ -95,9 +100,18 @@ func (d *Daemon) Tick() int {
 		w := d.coolestWorker()
 		im := d.Library[h.kernel]
 		d.Deploys++
+		d.Trace.Add(trace.Span{Name: "deploy", Cat: trace.CatDaemon,
+			Start: int64(d.eng.Now()), End: int64(d.eng.Now()),
+			PID: trace.PIDSystem, TID: 0, Detail: h.kernel, Arg: int64(w)})
+		if d.Reg != nil {
+			d.Reg.CounterL("daemon.deploys", trace.L("kernel", h.kernel)).Inc()
+		}
 		d.Domain.Deploy(w, im, func(*accel.Instance, error) {})
 		n++
 	}
+	d.Trace.Add(trace.Span{Name: "tick", Cat: trace.CatDaemon,
+		Start: int64(d.eng.Now()), End: int64(d.eng.Now()),
+		PID: trace.PIDSystem, TID: 0, Arg: int64(n)})
 	return n
 }
 

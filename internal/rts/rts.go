@@ -11,6 +11,7 @@ package rts
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"ecoscale/internal/accel"
@@ -323,6 +324,12 @@ type Scheduler struct {
 	HWOverhead sim.Time
 	// Flow, when non-nil, records the Fig. 5 layer-interaction trace.
 	Flow *trace.FlowLog
+	// Trace, when non-nil, records task-lifecycle spans (queue wait,
+	// dispatch, compute, whole task) for the Chrome/Perfetto export.
+	Trace *trace.Tracer
+	// Reg, when non-nil, receives task counters (labelled by worker,
+	// device, kernel, policy) and the lat.* latency histograms.
+	Reg *trace.Registry
 
 	eng        *sim.Engine
 	queue      []queued
@@ -332,6 +339,7 @@ type Scheduler struct {
 	waitTime   sim.Time
 	nextID     uint64
 	idleCb     func() // hook for the work-stealing layer
+	wlabel     string // cached strconv of Worker for metric labels
 }
 
 // NewScheduler creates a Worker's scheduler.
@@ -342,6 +350,7 @@ func NewScheduler(worker int, domain *unilogic.Domain, eng *sim.Engine, meter *e
 		Meter: meter, Cores: 4, HWInflight: 4,
 		HWOverhead: 2 * sim.Microsecond, eng: eng,
 		executed: map[Device]uint64{},
+		wlabel:   strconv.Itoa(worker),
 	}
 }
 
@@ -402,10 +411,21 @@ func (s *Scheduler) pump() {
 
 func (s *Scheduler) start(q queued, dev Device) {
 	t := q.task
-	s.waitTime += s.eng.Now() - t.submitted
+	wait := s.eng.Now() - t.submitted
+	s.waitTime += wait
 	start := s.eng.Now()
+	pid := trace.WorkerPID(s.Worker)
 	s.Flow.Add(int64(start), "runtime", "worker %d: %s(%s) dispatched to %s by policy %s",
 		s.Worker, t.Kernel, fmtBindings(t.Bindings), dev, s.Policy.Name())
+	s.Trace.Add(trace.Span{Name: t.Kernel, Cat: trace.CatQueue,
+		Start: int64(t.submitted), End: int64(start),
+		PID: pid, TID: trace.TIDCPU, Task: t.ID})
+	s.Trace.Add(trace.Span{Name: t.Kernel, Cat: trace.CatDispatch,
+		Start: int64(start), End: int64(start),
+		PID: pid, TID: trace.TIDCPU, Task: t.ID, Detail: dev.String()})
+	if s.Reg != nil {
+		trace.LatencyHistogram(s.Reg, "lat.queue_us").Observe(wait.Micros())
+	}
 	finish := func(err error) {
 		if dev == DeviceHW {
 			s.hwRunning--
@@ -413,13 +433,23 @@ func (s *Scheduler) start(q queued, dev Device) {
 			s.cpuRunning--
 		}
 		s.executed[dev]++
+		now := s.eng.Now()
 		s.History.Add(Record{
 			Kernel: t.Kernel, Device: dev,
-			Features: t.Features(), Duration: s.eng.Now() - start,
+			Features: t.Features(), Duration: now - start,
 			Energy: s.taskEnergy(dev, t),
 		})
-		s.Flow.Add(int64(s.eng.Now()), "runtime", "worker %d: %s completed on %s (recorded to history)",
+		s.Flow.Add(int64(now), "runtime", "worker %d: %s completed on %s (recorded to history)",
 			s.Worker, t.Kernel, dev)
+		s.Trace.Add(trace.Span{Name: t.Kernel, Cat: trace.CatTask,
+			Start: int64(t.submitted), End: int64(now),
+			PID: pid, TID: trace.TIDCPU, Task: t.ID, Detail: dev.String()})
+		if s.Reg != nil {
+			s.Reg.CounterL("rts.tasks",
+				trace.L("worker", s.wlabel), trace.L("device", dev.String()),
+				trace.L("kernel", t.Kernel), trace.L("policy", s.Policy.Name())).Inc()
+			trace.LatencyHistogram(s.Reg, "lat.task_us").Observe((now - t.submitted).Micros())
+		}
 		if q.done != nil {
 			q.done(dev, err)
 		}
@@ -442,6 +472,13 @@ func (s *Scheduler) start(q queued, dev Device) {
 		if s.Meter != nil {
 			s.Meter.Charge("cpu", energy.Joules(t.SWStats.Ops)*s.Meter.Model.CPUOp+
 				energy.Joules(t.SWStats.Loads+t.SWStats.Stores)*s.Meter.Model.CacheAccess)
+		}
+		now := s.eng.Now()
+		s.Trace.Add(trace.Span{Name: t.Kernel, Cat: trace.CatCompute,
+			Start: int64(start), End: int64(now),
+			PID: pid, TID: trace.TIDCPU, Task: t.ID, Detail: "cpu"})
+		if s.Reg != nil {
+			trace.LatencyHistogram(s.Reg, "lat.compute_cpu_us").Observe((now - start).Micros())
 		}
 		var err error
 		if t.Exec != nil {

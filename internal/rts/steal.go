@@ -3,6 +3,7 @@ package rts
 import (
 	"ecoscale/internal/noc"
 	"ecoscale/internal/sim"
+	"ecoscale/internal/trace"
 )
 
 // This file implements the load-distribution layer of §4.2: "To curb the
@@ -48,6 +49,10 @@ func (k BalanceKind) String() string {
 type Cluster struct {
 	Kind       BalanceKind
 	Schedulers []*Scheduler
+	// Trace, when non-nil, records probe and transfer events.
+	Trace *trace.Tracer
+	// Reg, when non-nil, receives steal counters.
+	Reg *trace.Registry
 
 	net        *noc.Network
 	eng        *sim.Engine
@@ -103,6 +108,9 @@ func (c *Cluster) pollAll(thief *Scheduler) {
 	}
 	type depth struct{ w, d int }
 	depths := make([]depth, 0, n-1)
+	c.Trace.Add(trace.Span{Name: "poll", Cat: trace.CatSteal,
+		Start: int64(c.eng.Now()), End: int64(c.eng.Now()),
+		PID: trace.WorkerPID(thief.Worker), TID: trace.TIDCPU, Arg: int64(n - 1)})
 	wg := sim.NewWaitGroup(c.eng, n-1)
 	for w := range c.Schedulers {
 		if w == thief.Worker {
@@ -165,6 +173,9 @@ func (c *Cluster) probeNext(thief *Scheduler, attempts int) {
 		c.nextProbe[thief.Worker] = victim + 1
 	}
 	c.StealMsgs += 2
+	c.Trace.Add(trace.Span{Name: "probe", Cat: trace.CatSteal,
+		Start: int64(c.eng.Now()), End: int64(c.eng.Now()),
+		PID: trace.WorkerPID(thief.Worker), TID: trace.TIDCPU, Arg: int64(victim)})
 	c.net.RoundTrip(thief.Worker, victim, c.ctrlBytes, c.ctrlBytes, noc.Sync, func() {
 		if thief.Outstanding() > 0 {
 			return
@@ -189,7 +200,16 @@ func (c *Cluster) transfer(victim, thief *Scheduler) {
 	}
 	c.Steals++
 	c.StealMsgs++
+	if c.Reg != nil {
+		c.Reg.CounterL("rts.steals",
+			trace.L("thief", thief.wlabel), trace.L("victim", victim.wlabel)).Inc()
+	}
+	start := c.eng.Now()
 	c.net.Send(victim.Worker, thief.Worker, 64, noc.Store, func() {
+		c.Trace.Add(trace.Span{Name: q.task.Kernel, Cat: trace.CatSteal,
+			Start: int64(start), End: int64(c.eng.Now()),
+			PID: trace.WorkerPID(thief.Worker), TID: trace.TIDCPU,
+			Detail: "transfer", Arg: int64(victim.Worker)})
 		thief.Submit(q.task, q.done)
 	})
 }

@@ -12,7 +12,8 @@ import (
 // cmd/ecosim -flowtrace prints it, reproducing Fig. 5 as a sequence
 // listing.
 type FlowLog struct {
-	events []FlowEvent
+	events  []FlowEvent
+	dropped uint64
 	// Cap bounds retained events (0 = unbounded).
 	Cap int
 }
@@ -34,9 +35,19 @@ func (l *FlowLog) Add(atPs int64, layer, format string, args ...any) {
 		return
 	}
 	if l.Cap > 0 && len(l.events) >= l.Cap {
+		l.dropped++
 		return
 	}
 	l.events = append(l.events, FlowEvent{AtPs: atPs, Layer: layer, Event: fmt.Sprintf(format, args...)})
+}
+
+// Dropped returns how many events were discarded because Cap was
+// reached.
+func (l *FlowLog) Dropped() uint64 {
+	if l == nil {
+		return 0
+	}
+	return l.dropped
 }
 
 // Events returns the recorded events in order.
@@ -75,6 +86,9 @@ func (l *FlowLog) String() string {
 	for _, e := range l.Events() {
 		us := float64(e.AtPs) / 1e6
 		fmt.Fprintf(&b, "%12.3fus  %-12s %s\n", us, e.Layer, e.Event)
+	}
+	if n := l.Dropped(); n > 0 {
+		fmt.Fprintf(&b, "(%d later events dropped at cap %d)\n", n, l.Cap)
 	}
 	return b.String()
 }

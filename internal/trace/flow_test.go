@@ -1,0 +1,34 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFlowLogCapDrops(t *testing.T) {
+	l := NewFlowLog(3)
+	for i := 0; i < 5; i++ {
+		l.Add(int64(i), "runtime", "event %d", i)
+	}
+	if l.Len() != 3 || l.Dropped() != 2 {
+		t.Fatalf("Len=%d Dropped=%d; want 3, 2", l.Len(), l.Dropped())
+	}
+	s := l.String()
+	if !strings.Contains(s, "2 later events dropped at cap 3") {
+		t.Fatalf("String() missing drop footer:\n%s", s)
+	}
+	// Under cap: no footer.
+	small := NewFlowLog(10)
+	small.Add(0, "runtime", "ok")
+	if strings.Contains(small.String(), "dropped") {
+		t.Fatalf("unexpected drop footer:\n%s", small.String())
+	}
+}
+
+func TestFlowLogNilSafe(t *testing.T) {
+	var l *FlowLog
+	l.Add(0, "runtime", "x")
+	if l.Len() != 0 || l.Dropped() != 0 || l.Events() != nil {
+		t.Fatal("nil flow log must look empty")
+	}
+}

@@ -1,0 +1,176 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"noc.bytes":    "ecoscale_noc_bytes",
+		"lat.queue_us": "ecoscale_lat_queue_us",
+		"ok_name:sub":  "ecoscale_ok_name:sub",
+		"weird-%name":  "ecoscale_weird__name",
+	}
+	for in, want := range cases {
+		if got := PromName(in); got != want {
+			t.Errorf("PromName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestWritePrometheusParses is the ISSUE satellite: every non-comment
+// line of the exposition must be "name{labels} value" with a parseable
+// number, and each series name must carry exactly one TYPE header.
+func TestWritePrometheusParses(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("noc.bytes").Add(1536)
+	r.CounterL("rts.tasks", L("worker", "0"), L("kernel", "matmul")).Add(4)
+	r.CounterL("rts.tasks", L("worker", "1"), L("kernel", "matmul")).Add(3)
+	r.Stat("smmu.walk_ns").Observe(12.5)
+	r.Stat("empty.stat") // no observations: min/max are ±Inf internally
+	LatencyHistogram(r, "lat.queue_us").Observe(250)
+	LatencyHistogram(r, "lat.queue_us").Observe(1750)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	types := map[string]int{}
+	samples := 0
+	for _, line := range strings.Split(strings.TrimRight(buf.String(), "\n"), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(line)
+			if len(fields) != 4 {
+				t.Fatalf("malformed TYPE line: %q", line)
+			}
+			switch fields[3] {
+			case "counter", "gauge", "histogram":
+			default:
+				t.Fatalf("unknown metric type in %q", line)
+			}
+			types[fields[2]]++
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		// Sample line: name[{labels}] value
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("malformed sample line: %q", line)
+		}
+		name, value := line[:sp], line[sp+1:]
+		if value != "+Inf" {
+			if _, err := strconv.ParseFloat(value, 64); err != nil {
+				t.Fatalf("unparseable value in %q: %v", line, err)
+			}
+		}
+		if !strings.HasPrefix(name, MetricPrefix) {
+			t.Fatalf("sample %q missing %q prefix", line, MetricPrefix)
+		}
+		if i := strings.IndexByte(name, '{'); i >= 0 && !strings.HasSuffix(name, "}") {
+			t.Fatalf("unbalanced label braces in %q", line)
+		}
+		samples++
+	}
+	for name, n := range types {
+		if n != 1 {
+			t.Errorf("TYPE header for %s emitted %d times", name, n)
+		}
+	}
+	if samples < 10 {
+		t.Fatalf("only %d sample lines; want >= 10", samples)
+	}
+
+	out := buf.String()
+	// Labeled series render sorted labels; both workers must appear under
+	// one shared TYPE header.
+	if !strings.Contains(out, `ecoscale_rts_tasks{kernel="matmul",worker="0"} 4`) ||
+		!strings.Contains(out, `ecoscale_rts_tasks{kernel="matmul",worker="1"} 3`) {
+		t.Fatalf("labeled counters missing or mis-rendered:\n%s", out)
+	}
+	if types["ecoscale_rts_tasks"] != 1 {
+		t.Fatalf("labeled series should share one TYPE header")
+	}
+	// Histogram must end with a +Inf bucket equal to its count.
+	if !strings.Contains(out, `ecoscale_lat_queue_us_bucket{le="+Inf"} 2`) {
+		t.Fatalf("missing +Inf bucket:\n%s", out)
+	}
+	// Empty stat min/max must export as finite zeros, not Inf.
+	if strings.Contains(out, "Inf\n") && !strings.Contains(out, `le="+Inf"`) {
+		t.Fatalf("non-finite gauge leaked into exposition:\n%s", out)
+	}
+}
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.CounterL("unilogic.calls", L("kernel", "fir")).Add(9)
+	r.Stat("empty.stat")
+	LatencyHistogram(r, "lat.dma_us").Observe(42)
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var snap MetricsSnapshot
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		t.Fatalf("metrics JSON invalid: %v\n%s", err, buf.String())
+	}
+	if len(snap.Counters) != 1 || snap.Counters[0].Value != 9 ||
+		snap.Counters[0].Labels["kernel"] != "fir" {
+		t.Fatalf("counter snapshot wrong: %+v", snap.Counters)
+	}
+	if len(snap.Stats) != 1 || snap.Stats[0].Min != 0 || snap.Stats[0].Max != 0 {
+		t.Fatalf("empty stat must snapshot finite min/max: %+v", snap.Stats)
+	}
+	if len(snap.Histograms) != 1 || snap.Histograms[0].Count != 1 {
+		t.Fatalf("histogram snapshot wrong: %+v", snap.Histograms)
+	}
+	last := snap.Histograms[0].Buckets[len(snap.Histograms[0].Buckets)-1]
+	if last.Count != 1 {
+		t.Fatalf("cumulative bucket counts must reach total: %+v", last)
+	}
+}
+
+func TestHistogramQuantileClamped(t *testing.T) {
+	// One sample mid-bin: interpolation would otherwise report bin edges
+	// beyond the observed range.
+	h := NewHistogram("h", 0, 100, 10)
+	h.Observe(42)
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 42 {
+			t.Errorf("Quantile(%g) = %g, want clamped to 42", q, got)
+		}
+	}
+	h.Observe(58)
+	if got := h.Quantile(0); got < 42 {
+		t.Errorf("Quantile(0) = %g, below observed min 42", got)
+	}
+	if got := h.Quantile(1); got > 58 {
+		t.Errorf("Quantile(1) = %g, above observed max 58", got)
+	}
+}
+
+func TestRegistryLabels(t *testing.T) {
+	r := NewRegistry()
+	a := r.CounterL("x", L("k", "a"))
+	b := r.CounterL("x", L("k", "b"))
+	bare := r.Counter("x")
+	if a == b || a == bare {
+		t.Fatal("distinct label sets must be distinct series")
+	}
+	if r.CounterL("x", L("k", "a")) != a {
+		t.Fatal("same label set must return the same series")
+	}
+	// Label order must not matter.
+	p := r.CounterL("y", L("k1", "v1"), L("k2", "v2"))
+	q := r.CounterL("y", L("k2", "v2"), L("k1", "v1"))
+	if p != q {
+		t.Fatal("label order must not create a new series")
+	}
+}

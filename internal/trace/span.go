@@ -1,0 +1,328 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// This file implements the span tracer: a per-machine recorder of the
+// complete task lifecycle (submit → queue wait → dispatch decision →
+// bitstream reconfiguration → DMA/UNIMEM transfer → execute → complete)
+// plus reconfiguration-daemon and work-stealing events, timestamped with
+// the sim engine's picosecond clock. Spans export as Chrome trace-event
+// JSON (chrome://tracing, https://ui.perfetto.dev) with one process per
+// Worker and one lane (thread) each for its CPU, its fabric slot, and
+// its DMA/UNIMEM streams.
+//
+// The tracer is nil-safe and allocation-free when disabled: every method
+// has a nil receiver guard, and Add takes the Span by value so a call
+// site on a nil *Tracer costs a branch and no heap traffic.
+
+// Span categories. These are the "cat" values in the Chrome export; the
+// latency-breakdown table groups durations by category.
+const (
+	CatQueue    = "queue"    // submit → dispatch wait in a Worker queue
+	CatCompute  = "compute"  // CPU execution or fabric pipeline occupancy
+	CatTask     = "task"     // whole lifecycle, submit → completion
+	CatReconfig = "reconfig" // partial-reconfiguration port transfer
+	CatDMA      = "dma"      // UNIMEM argument/result streaming
+	CatSMMU     = "smmu"     // doorbell + dual-stage translation
+	CatRoute    = "route"    // UNILOGIC instance-selection decision
+	CatSteal    = "steal"    // work-stealing probes and transfers
+	CatDaemon   = "daemon"   // reconfiguration-daemon ticks and deploys
+	CatDispatch = "dispatch" // scheduler device decision (instant)
+)
+
+// Latency-histogram shape shared by the per-stage lat.* registry
+// metrics: 200 bins over [0, 100ms) in microseconds. Quantiles clamp to
+// the observed range, so the wide span costs resolution, not accuracy
+// at the extremes.
+const (
+	LatHistLo   = 0
+	LatHistHi   = 1e5
+	LatHistBins = 200
+)
+
+// LatencyHistogram returns (creating on first use) a standard-shape
+// latency histogram in the registry; nil registry returns nil.
+func LatencyHistogram(r *Registry, name string, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.HistogramL(name, LatHistLo, LatHistHi, LatHistBins, labels...)
+}
+
+// Lane model: process 0 is the machine-level control plane (daemon,
+// work-stealing cluster); process w+1 is Worker w with three lanes.
+const (
+	PIDSystem = 0 // daemon + cluster events
+	TIDCPU    = 0 // scheduler/CPU lane
+	TIDFabric = 1 // reconfigurable-block lane
+	TIDDMA    = 2 // UNIMEM stream lane
+)
+
+// WorkerPID maps a Worker id to its trace process id.
+func WorkerPID(worker int) int { return worker + 1 }
+
+// Span is one recorded interval (or instant, when End == Start) on a
+// lane. Fields are plain values so constructing one allocates nothing.
+type Span struct {
+	Name string // short event name (kernel or module name, "probe", …)
+	Cat  string // one of the Cat* constants
+	// Start and End are simulated picoseconds; End == Start records an
+	// instant event.
+	Start, End int64
+	PID, TID   int
+	// Task is the scheduler-assigned task id (0 when not task-scoped).
+	Task uint64
+	// Detail is a small free-form annotation (device, policy name, …).
+	// Call sites must not build it with fmt when the tracer may be
+	// disabled; pass pre-existing or constant strings.
+	Detail string
+	// Arg is a generic numeric annotation (peer worker, count, …).
+	Arg int64
+}
+
+// Dur returns the span length in picoseconds.
+func (s Span) Dur() int64 { return s.End - s.Start }
+
+// Tracer records spans for one simulated machine. A nil *Tracer is a
+// valid, disabled tracer: all methods are no-ops.
+type Tracer struct {
+	// Cap bounds retained spans (0 = unbounded); spans past the cap are
+	// counted in Dropped rather than retained.
+	Cap int
+
+	spans   []Span
+	dropped uint64
+	procs   map[int]string
+	threads map[int]map[int]string
+}
+
+// NewTracer returns an enabled tracer retaining up to cap spans
+// (0 = unbounded).
+func NewTracer(cap int) *Tracer {
+	return &Tracer{Cap: cap, procs: map[int]string{}, threads: map[int]map[int]string{}}
+}
+
+// Enabled reports whether the tracer records anything.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// Add records one span. It is safe and allocation-free on a nil tracer.
+func (t *Tracer) Add(s Span) {
+	if t == nil {
+		return
+	}
+	if t.Cap > 0 && len(t.spans) >= t.Cap {
+		t.dropped++
+		return
+	}
+	t.spans = append(t.spans, s)
+}
+
+// Instant records a zero-duration event.
+func (t *Tracer) Instant(atPs int64, cat, name string, pid, tid int) {
+	if t == nil {
+		return
+	}
+	t.Add(Span{Name: name, Cat: cat, Start: atPs, End: atPs, PID: pid, TID: tid})
+}
+
+// Len returns the retained span count.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.spans)
+}
+
+// Dropped returns how many spans were discarded because Cap was reached.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped
+}
+
+// Spans returns the retained spans in recording order.
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	return t.spans
+}
+
+// SetProcessName labels a trace process (a Worker or the control plane).
+func (t *Tracer) SetProcessName(pid int, name string) {
+	if t == nil {
+		return
+	}
+	t.procs[pid] = name
+}
+
+// SetThreadName labels one lane of a process.
+func (t *Tracer) SetThreadName(pid, tid int, name string) {
+	if t == nil {
+		return
+	}
+	m := t.threads[pid]
+	if m == nil {
+		m = map[int]string{}
+		t.threads[pid] = m
+	}
+	m[tid] = name
+}
+
+// jsonEscape writes s as a JSON string literal. Names and details are
+// plain ASCII identifiers in practice, but corrupt input must not
+// produce corrupt JSON.
+func jsonEscape(w *bufio.Writer, s string) {
+	w.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"' || c == '\\':
+			w.WriteByte('\\')
+			w.WriteByte(c)
+		case c < 0x20:
+			fmt.Fprintf(w, "\\u%04x", c)
+		default:
+			w.WriteByte(c)
+		}
+	}
+	w.WriteByte('"')
+}
+
+// WriteChrome emits the trace in Chrome trace-event JSON ("traceEvents"
+// object form), loadable by chrome://tracing and Perfetto. Timestamps
+// are microseconds ("ts"/"dur"), converted from the picosecond clock;
+// events are ordered by start time for stable, diffable output.
+func (t *Tracer) WriteChrome(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[")
+	first := true
+	sep := func() {
+		if !first {
+			bw.WriteString(",\n")
+		}
+		first = false
+	}
+
+	if t != nil {
+		// Metadata: process and thread names, sorted for determinism.
+		pids := make([]int, 0, len(t.procs))
+		for pid := range t.procs {
+			pids = append(pids, pid)
+		}
+		sort.Ints(pids)
+		for _, pid := range pids {
+			sep()
+			fmt.Fprintf(bw, `{"name":"process_name","ph":"M","pid":%d,"tid":0,"args":{"name":`, pid)
+			jsonEscape(bw, t.procs[pid])
+			bw.WriteString("}}")
+		}
+		tpids := make([]int, 0, len(t.threads))
+		for pid := range t.threads {
+			tpids = append(tpids, pid)
+		}
+		sort.Ints(tpids)
+		for _, pid := range tpids {
+			tids := make([]int, 0, len(t.threads[pid]))
+			for tid := range t.threads[pid] {
+				tids = append(tids, tid)
+			}
+			sort.Ints(tids)
+			for _, tid := range tids {
+				sep()
+				fmt.Fprintf(bw, `{"name":"thread_name","ph":"M","pid":%d,"tid":%d,"args":{"name":`, pid, tid)
+				jsonEscape(bw, t.threads[pid][tid])
+				bw.WriteString("}}")
+			}
+		}
+
+		ordered := make([]int, len(t.spans))
+		for i := range ordered {
+			ordered[i] = i
+		}
+		sort.SliceStable(ordered, func(a, b int) bool {
+			return t.spans[ordered[a]].Start < t.spans[ordered[b]].Start
+		})
+		for _, i := range ordered {
+			s := &t.spans[i]
+			sep()
+			bw.WriteString(`{"name":`)
+			jsonEscape(bw, s.Name)
+			bw.WriteString(`,"cat":`)
+			jsonEscape(bw, s.Cat)
+			ts := strconv.FormatFloat(float64(s.Start)/1e6, 'f', -1, 64)
+			if s.End > s.Start {
+				dur := strconv.FormatFloat(float64(s.End-s.Start)/1e6, 'f', -1, 64)
+				fmt.Fprintf(bw, `,"ph":"X","ts":%s,"dur":%s,"pid":%d,"tid":%d`, ts, dur, s.PID, s.TID)
+			} else {
+				fmt.Fprintf(bw, `,"ph":"i","s":"t","ts":%s,"pid":%d,"tid":%d`, ts, s.PID, s.TID)
+			}
+			if s.Task != 0 || s.Detail != "" || s.Arg != 0 {
+				bw.WriteString(`,"args":{`)
+				afirst := true
+				if s.Task != 0 {
+					fmt.Fprintf(bw, `"task":%d`, s.Task)
+					afirst = false
+				}
+				if s.Detail != "" {
+					if !afirst {
+						bw.WriteByte(',')
+					}
+					bw.WriteString(`"detail":`)
+					jsonEscape(bw, s.Detail)
+					afirst = false
+				}
+				if s.Arg != 0 {
+					if !afirst {
+						bw.WriteByte(',')
+					}
+					fmt.Fprintf(bw, `"arg":%d`, s.Arg)
+				}
+				bw.WriteByte('}')
+			}
+			bw.WriteByte('}')
+		}
+	}
+	bw.WriteString("]}\n")
+	return bw.Flush()
+}
+
+// Breakdown renders a latency table (count and duration quantiles in
+// microseconds) for each span category present, sorted by category —
+// the per-stage "where does task time go" summary of Figs. 2–5.
+func (t *Tracer) Breakdown() *Table {
+	tbl := NewTable("latency breakdown (us)", "stage", "n", "p50", "p90", "p99", "max")
+	if t == nil {
+		return tbl
+	}
+	byCat := map[string][]float64{}
+	for i := range t.spans {
+		s := &t.spans[i]
+		if s.End <= s.Start {
+			continue
+		}
+		byCat[s.Cat] = append(byCat[s.Cat], float64(s.End-s.Start)/1e6)
+	}
+	cats := make([]string, 0, len(byCat))
+	for c := range byCat {
+		cats = append(cats, c)
+	}
+	sort.Strings(cats)
+	for _, c := range cats {
+		ds := byCat[c]
+		sort.Float64s(ds)
+		q := func(p float64) float64 {
+			i := int(p * float64(len(ds)-1))
+			return ds[i]
+		}
+		tbl.AddRow(c, len(ds), q(0.50), q(0.90), q(0.99), ds[len(ds)-1])
+	}
+	return tbl
+}

@@ -1,0 +1,177 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// chromeEvent mirrors one trace-event for round-trip decoding.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	S    string         `json:"s"`
+	Args map[string]any `json:"args"`
+}
+
+type chromeTrace struct {
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+}
+
+func TestWriteChromeRoundTrip(t *testing.T) {
+	tr := NewTracer(0)
+	tr.SetProcessName(WorkerPID(0), "worker 0")
+	tr.SetThreadName(WorkerPID(0), TIDCPU, "cpu")
+	tr.Add(Span{Name: "matmul", Cat: CatCompute, Start: 2_000_000, End: 5_000_000,
+		PID: WorkerPID(0), TID: TIDCPU, Task: 7, Detail: "cpu", Arg: 3})
+	tr.Instant(1_000_000, CatDispatch, "dispatch", WorkerPID(0), TIDCPU)
+	tr.Add(Span{Name: `quote"back\slash`, Cat: CatDMA, Start: 0, End: 500_000,
+		PID: WorkerPID(0), TID: TIDDMA})
+
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got chromeTrace
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("export is not valid JSON: %v\n%s", err, buf.String())
+	}
+
+	var meta, complete, instants []chromeEvent
+	for _, e := range got.TraceEvents {
+		switch e.Ph {
+		case "M":
+			meta = append(meta, e)
+		case "X":
+			complete = append(complete, e)
+		case "i":
+			instants = append(instants, e)
+		default:
+			t.Fatalf("unexpected phase %q", e.Ph)
+		}
+	}
+	if len(meta) != 2 || len(complete) != 2 || len(instants) != 1 {
+		t.Fatalf("event mix = %d M, %d X, %d i; want 2, 2, 1", len(meta), len(complete), len(instants))
+	}
+	if meta[0].Name != "process_name" || meta[0].Args["name"] != "worker 0" {
+		t.Fatalf("process metadata wrong: %+v", meta[0])
+	}
+
+	// 2ms..5ms in ps must round-trip to ts=2, dur=3 microseconds.
+	var mm chromeEvent
+	for _, e := range complete {
+		if e.Name == "matmul" {
+			mm = e
+		}
+	}
+	if mm.TS != 2 || mm.Dur != 3 || mm.PID != WorkerPID(0) || mm.TID != TIDCPU || mm.Cat != CatCompute {
+		t.Fatalf("matmul span round-trip wrong: %+v", mm)
+	}
+	if mm.Args["task"] != float64(7) || mm.Args["detail"] != "cpu" || mm.Args["arg"] != float64(3) {
+		t.Fatalf("matmul args wrong: %+v", mm.Args)
+	}
+	if instants[0].S != "t" || instants[0].TS != 1 {
+		t.Fatalf("instant wrong: %+v", instants[0])
+	}
+	// Events must come out sorted by start time.
+	prev := -1.0
+	for _, e := range complete {
+		if e.TS < prev {
+			t.Fatalf("events not sorted by ts")
+		}
+		prev = e.TS
+	}
+}
+
+func TestWriteChromeNilAndEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	var nilTr *Tracer
+	if err := nilTr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got chromeTrace
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("nil tracer export invalid: %v", err)
+	}
+	if len(got.TraceEvents) != 0 {
+		t.Fatalf("nil tracer exported %d events", len(got.TraceEvents))
+	}
+}
+
+func TestTracerCapDrops(t *testing.T) {
+	tr := NewTracer(2)
+	for i := 0; i < 5; i++ {
+		tr.Add(Span{Name: "s", Cat: CatQueue, Start: int64(i), End: int64(i + 1)})
+	}
+	if tr.Len() != 2 || tr.Dropped() != 3 {
+		t.Fatalf("Len=%d Dropped=%d; want 2, 3", tr.Len(), tr.Dropped())
+	}
+}
+
+func TestNilTracerSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Add(Span{Name: "x"})
+	tr.Instant(0, CatSteal, "probe", 0, 0)
+	tr.SetProcessName(0, "p")
+	tr.SetThreadName(0, 0, "t")
+	if tr.Enabled() || tr.Len() != 0 || tr.Dropped() != 0 || tr.Spans() != nil {
+		t.Fatal("nil tracer must look empty and disabled")
+	}
+	if got := tr.Breakdown(); len(got.Rows) != 0 {
+		t.Fatalf("nil tracer breakdown has %d rows", len(got.Rows))
+	}
+}
+
+// TestDisabledTracerZeroAlloc is the ISSUE acceptance check: the
+// disabled (nil) tracer path must not allocate on the hot path.
+func TestDisabledTracerZeroAlloc(t *testing.T) {
+	var tr *Tracer
+	allocs := testing.AllocsPerRun(1000, func() {
+		tr.Add(Span{Name: "matmul", Cat: CatCompute, Start: 1, End: 2,
+			PID: 1, TID: 0, Task: 42, Detail: "cpu", Arg: 3})
+		tr.Instant(5, CatDispatch, "dispatch", 1, 0)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled tracer allocates %.1f per op; want 0", allocs)
+	}
+}
+
+func BenchmarkDisabledTracerAdd(b *testing.B) {
+	var tr *Tracer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Add(Span{Name: "matmul", Cat: CatCompute, Start: int64(i), End: int64(i + 1),
+			PID: 1, TID: 0, Task: uint64(i), Detail: "cpu"})
+	}
+}
+
+func BenchmarkEnabledTracerAdd(b *testing.B) {
+	tr := NewTracer(0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Add(Span{Name: "matmul", Cat: CatCompute, Start: int64(i), End: int64(i + 1),
+			PID: 1, TID: 0, Task: uint64(i), Detail: "cpu"})
+	}
+}
+
+func TestBreakdown(t *testing.T) {
+	tr := NewTracer(0)
+	for i := 1; i <= 10; i++ {
+		tr.Add(Span{Name: "q", Cat: CatQueue, Start: 0, End: int64(i) * 1_000_000})
+	}
+	tr.Instant(0, CatSteal, "probe", 0, 0) // instants excluded from quantiles
+	tbl := tr.Breakdown()
+	if len(tbl.Rows) != 1 || tbl.Rows[0][0] != CatQueue {
+		t.Fatalf("breakdown rows = %v", tbl.Rows)
+	}
+	if !strings.Contains(tbl.String(), "queue") {
+		t.Fatalf("rendered breakdown missing category:\n%s", tbl)
+	}
+}

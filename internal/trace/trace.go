@@ -11,10 +11,40 @@ import (
 	"strings"
 )
 
+// Label is one key=value dimension attached to a metric (worker, kernel,
+// policy, device, …).
+type Label struct{ Key, Value string }
+
+// L constructs a label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// labelKey renders name plus labels (sorted by key) as the registry map
+// key, e.g. `rts.tasks{device="hw",worker="3"}`. Unlabeled metrics keep
+// their bare name, so existing lookups are unchanged.
+func labelKey(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l.Key, l.Value)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
 // Counter is a monotonically increasing named count.
 type Counter struct {
-	Name  string
-	Value uint64
+	Name   string
+	Labels []Label
+	Value  uint64
 }
 
 // Add increments the counter by n.
@@ -26,12 +56,13 @@ func (c *Counter) Inc() { c.Value++ }
 // Stat accumulates scalar samples and reports summary statistics without
 // retaining the samples themselves.
 type Stat struct {
-	Name string
-	n    uint64
-	sum  float64
-	sum2 float64
-	min  float64
-	max  float64
+	Name   string
+	Labels []Label
+	n      uint64
+	sum    float64
+	sum2   float64
+	min    float64
+	max    float64
 }
 
 // NewStat returns an empty statistic accumulator.
@@ -97,6 +128,7 @@ func (s *Stat) String() string {
 // outside the range land in saturating edge bins.
 type Histogram struct {
 	Name    string
+	Labels  []Label
 	lo, hi  float64
 	buckets []uint64
 	stat    *Stat
@@ -132,7 +164,9 @@ func (h *Histogram) Count() uint64 { return h.stat.Count() }
 // Mean returns the sample mean.
 func (h *Histogram) Mean() float64 { return h.stat.Mean() }
 
-// Quantile returns an approximate q-quantile (q in [0,1]) from bin counts.
+// Quantile returns an approximate q-quantile (q in [0,1]) from bin
+// counts, clamped to the observed [min, max] so a saturated edge bin
+// cannot report a value no sample ever reached.
 func (h *Histogram) Quantile(q float64) float64 {
 	if h.stat.Count() == 0 {
 		return 0
@@ -143,10 +177,39 @@ func (h *Histogram) Quantile(q float64) float64 {
 	for i, c := range h.buckets {
 		cum += float64(c)
 		if cum >= target {
-			return h.lo + (float64(i)+0.5)*width
+			return h.clampObserved(h.lo + (float64(i)+0.5)*width)
 		}
 	}
-	return h.hi
+	return h.clampObserved(h.hi)
+}
+
+// clampObserved bounds v to the observed sample range.
+func (h *Histogram) clampObserved(v float64) float64 {
+	if v < h.stat.min {
+		return h.stat.min
+	}
+	if v > h.stat.max {
+		return h.stat.max
+	}
+	return v
+}
+
+// Min returns the smallest observed sample (+Inf if empty).
+func (h *Histogram) Min() float64 { return h.stat.min }
+
+// Max returns the largest observed sample (-Inf if empty).
+func (h *Histogram) Max() float64 { return h.stat.max }
+
+// Sum returns the sum of all samples.
+func (h *Histogram) Sum() float64 { return h.stat.Sum() }
+
+// NumBuckets returns the bin count.
+func (h *Histogram) NumBuckets() int { return len(h.buckets) }
+
+// BucketBound returns the exclusive upper bound of bin i.
+func (h *Histogram) BucketBound(i int) float64 {
+	width := (h.hi - h.lo) / float64(len(h.buckets))
+	return h.lo + float64(i+1)*width
 }
 
 // Series is an append-only (x, y) time/parameter series.
@@ -271,42 +334,104 @@ func (t *Table) CSV() string {
 	return b.String()
 }
 
-// Registry is a namespace of counters and stats shared by the components
-// of one simulated machine.
+// Registry is a namespace of counters, stats and histograms shared by
+// the components of one simulated machine. Metrics may carry labels
+// (worker, kernel, policy, …); each distinct (name, label set) is its
+// own time series, keyed by the rendered labelKey.
 type Registry struct {
 	counters map[string]*Counter
 	stats    map[string]*Stat
+	hists    map[string]*Histogram
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{counters: map[string]*Counter{}, stats: map[string]*Stat{}}
+	return &Registry{
+		counters: map[string]*Counter{},
+		stats:    map[string]*Stat{},
+		hists:    map[string]*Histogram{},
+	}
 }
 
-// Counter returns the named counter, creating it on first use.
-func (r *Registry) Counter(name string) *Counter {
-	c, ok := r.counters[name]
+// Counter returns the named unlabeled counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter { return r.CounterL(name) }
+
+// CounterL returns the counter with the given labels, creating it on
+// first use.
+func (r *Registry) CounterL(name string, labels ...Label) *Counter {
+	k := labelKey(name, labels)
+	c, ok := r.counters[k]
 	if !ok {
-		c = &Counter{Name: name}
-		r.counters[name] = c
+		c = &Counter{Name: name, Labels: labels}
+		r.counters[k] = c
 	}
 	return c
 }
 
-// Stat returns the named stat, creating it on first use.
-func (r *Registry) Stat(name string) *Stat {
-	s, ok := r.stats[name]
+// Stat returns the named unlabeled stat, creating it on first use.
+func (r *Registry) Stat(name string) *Stat { return r.StatL(name) }
+
+// StatL returns the stat with the given labels, creating it on first
+// use.
+func (r *Registry) StatL(name string, labels ...Label) *Stat {
+	k := labelKey(name, labels)
+	s, ok := r.stats[k]
 	if !ok {
 		s = NewStat(name)
-		r.stats[name] = s
+		s.Labels = labels
+		r.stats[k] = s
 	}
 	return s
 }
 
-// CounterNames returns all counter names, sorted.
+// Histogram returns the named unlabeled histogram, creating it on first
+// use with n bins over [lo, hi).
+func (r *Registry) Histogram(name string, lo, hi float64, n int) *Histogram {
+	return r.HistogramL(name, lo, hi, n)
+}
+
+// HistogramL returns the histogram with the given labels, creating it
+// on first use with n bins over [lo, hi). The shape arguments are only
+// consulted at creation.
+func (r *Registry) HistogramL(name string, lo, hi float64, n int, labels ...Label) *Histogram {
+	k := labelKey(name, labels)
+	h, ok := r.hists[k]
+	if !ok {
+		h = NewHistogram(name, lo, hi, n)
+		h.Labels = labels
+		r.hists[k] = h
+	}
+	return h
+}
+
+// FindHistogram returns the histogram stored under key (name plus
+// rendered labels), or nil — a lookup that never creates.
+func (r *Registry) FindHistogram(key string) *Histogram { return r.hists[key] }
+
+// CounterNames returns all counter keys (name plus labels), sorted.
 func (r *Registry) CounterNames() []string {
 	names := make([]string, 0, len(r.counters))
 	for n := range r.counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// StatNames returns all stat keys, sorted.
+func (r *Registry) StatNames() []string {
+	names := make([]string, 0, len(r.stats))
+	for n := range r.stats {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// HistogramNames returns all histogram keys, sorted.
+func (r *Registry) HistogramNames() []string {
+	names := make([]string, 0, len(r.hists))
+	for n := range r.hists {
 		names = append(names, n)
 	}
 	sort.Strings(names)

@@ -57,6 +57,10 @@ type Domain struct {
 	Policy Policy
 	// Flow, when non-nil, records the Fig. 5 layer-interaction trace.
 	Flow *trace.FlowLog
+	// Trace, when non-nil, records routing-decision events.
+	Trace *trace.Tracer
+	// Reg, when non-nil, receives call counters labelled by kernel.
+	Reg *trace.Registry
 
 	topo      topo.Topology
 	mgrs      []*accel.Manager
@@ -166,6 +170,9 @@ func (d *Domain) Call(caller int, kernel string, spec accel.CallSpec, done func(
 	in := d.pick(caller, kernel)
 	if in == nil {
 		d.rejected++
+		if d.Reg != nil {
+			d.Reg.CounterL("unilogic.rejected", trace.L("kernel", kernel)).Inc()
+		}
 		if done != nil {
 			done(fmt.Errorf("unilogic: no %s instance available to worker %d under %s policy",
 				kernel, caller, d.Policy))
@@ -178,6 +185,15 @@ func (d *Domain) Call(caller int, kernel string, spec accel.CallSpec, done func(
 	}
 	d.Flow.Add(int64(d.eng.Now()), "unilogic", "route %s: caller w%d -> instance %s (%d pending, policy %s)",
 		kernel, caller, key(in), d.pending[key(in)], d.Policy)
+	d.Trace.Add(trace.Span{Name: kernel, Cat: trace.CatRoute,
+		Start: int64(d.eng.Now()), End: int64(d.eng.Now()),
+		PID: trace.WorkerPID(caller), TID: trace.TIDCPU, Arg: int64(in.Worker)})
+	if d.Reg != nil {
+		d.Reg.CounterL("unilogic.calls", trace.L("kernel", kernel)).Inc()
+		if in.Worker != caller {
+			d.Reg.CounterL("unilogic.remote_calls", trace.L("kernel", kernel)).Inc()
+		}
+	}
 	k := key(in)
 	d.pending[k]++
 	in.Invoke(caller, spec, func(err error) {

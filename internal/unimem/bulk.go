@@ -3,6 +3,7 @@ package unimem
 import (
 	"ecoscale/internal/mem"
 	"ecoscale/internal/sim"
+	"ecoscale/internal/trace"
 )
 
 // Bulk and streaming helpers: accelerators and software kernels move data
@@ -62,6 +63,7 @@ func (s *Space) StreamRead(node int, addr uint64, size, window int, done func(da
 	if window <= 0 {
 		window = 1
 	}
+	start := s.Engine().Now()
 	spans := s.splitSpan(addr, size, mem.LineBytes)
 	buf := make([]byte, size)
 	wg := sim.NewWaitGroup(s.Engine(), len(spans))
@@ -78,10 +80,24 @@ func (s *Space) StreamRead(node int, addr uint64, size, window int, done func(da
 		})
 	}
 	wg.Wait(func() {
+		s.observeStream(node, "stream-read", start, size)
 		if done != nil {
 			done(buf)
 		}
 	})
+}
+
+// observeStream records one completed stream as a DMA span and a
+// latency-histogram sample.
+func (s *Space) observeStream(node int, name string, start sim.Time, size int) {
+	now := s.Engine().Now()
+	s.Trace.Add(trace.Span{Name: name, Cat: trace.CatDMA,
+		Start: int64(start), End: int64(now),
+		PID: trace.WorkerPID(node), TID: trace.TIDDMA, Arg: int64(size)})
+	if s.reg != nil {
+		trace.LatencyHistogram(s.reg, "lat.dma_us").Observe((now - start).Micros())
+		s.reg.Counter("unimem.stream_bytes").Add(uint64(size))
+	}
 }
 
 // StreamWrite writes data starting at addr on behalf of worker node as a
@@ -96,6 +112,7 @@ func (s *Space) StreamWrite(node int, addr uint64, data []byte, window int, done
 	if window <= 0 {
 		window = 1
 	}
+	start := s.Engine().Now()
 	spans := s.splitSpan(addr, len(data), mem.LineBytes)
 	wg := sim.NewWaitGroup(s.Engine(), len(spans))
 	inFlight := sim.NewResource(s.Engine(), "stream-write", window)
@@ -110,6 +127,7 @@ func (s *Space) StreamWrite(node int, addr uint64, data []byte, window int, done
 		})
 	}
 	wg.Wait(func() {
+		s.observeStream(node, "stream-write", start, len(data))
 		if done != nil {
 			done()
 		}

@@ -80,6 +80,10 @@ type Message struct {
 // terms, spanning the Workers of a Compute Node — or several, when used
 // for the whole-system experiments).
 type Space struct {
+	// Trace, when non-nil, records DMA/stream spans on each Worker's
+	// stream lane.
+	Trace *trace.Tracer
+
 	net     *noc.Network
 	cfg     Config
 	reg     *trace.Registry
