@@ -2,9 +2,9 @@
 
 GOFILES := $(shell find . -name '*.go' -not -path './.git/*')
 
-.PHONY: check fmt vet build test race bench
+.PHONY: check fmt vet build test race bench experiments
 
-check: fmt vet build race
+check: fmt vet build race experiments
 
 fmt:
 	@out=$$(gofmt -l $(GOFILES)); \
@@ -24,3 +24,8 @@ race:
 
 bench:
 	go test -bench . -benchtime 1x ./...
+
+# Smoke-run ecobench over a fast subset through the parallel runner,
+# exercising the pool, per-point timeouts and multi-ID selection.
+experiments:
+	go run ./cmd/ecobench -run E2,E3,E4,E10,A1 -parallel 0 -timeout 60s > /dev/null

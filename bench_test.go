@@ -10,24 +10,29 @@
 package ecoscale_test
 
 import (
+	"context"
 	"testing"
 
 	"ecoscale"
 	"ecoscale/internal/experiments"
 	"ecoscale/internal/hls"
+	"ecoscale/internal/runner"
 	"ecoscale/internal/sim"
 	"ecoscale/internal/trace"
 )
 
+// benchExperiment reruns one experiment sequentially per iteration, so
+// ns/op stays the host cost of regenerating that experiment on one
+// core; BenchmarkSuiteParallel measures the pooled path.
 func benchExperiment(b *testing.B, id string) {
 	b.Helper()
-	e, err := experiments.ByID(id)
+	s, err := experiments.ByID(id)
 	if err != nil {
 		b.Fatal(err)
 	}
 	var tbl *trace.Table
 	for i := 0; i < b.N; i++ {
-		tbl, err = e.Run()
+		tbl, err = runner.Run(context.Background(), s, runner.Options{Parallel: 1})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -36,6 +41,22 @@ func benchExperiment(b *testing.B, id string) {
 		b.Log("\n" + tbl.String())
 	}
 }
+
+// benchSuite regenerates every experiment table per iteration at the
+// given point-level parallelism.
+func benchSuite(b *testing.B, parallel int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		for _, s := range experiments.Registry() {
+			if _, err := runner.Run(context.Background(), s, runner.Options{Parallel: parallel}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkSuiteSequential(b *testing.B) { benchSuite(b, 1) }
+func BenchmarkSuiteParallel(b *testing.B)   { benchSuite(b, 0) }
 
 func BenchmarkE1Partitioning(b *testing.B)   { benchExperiment(b, "E1") }
 func BenchmarkE2Concurrency(b *testing.B)    { benchExperiment(b, "E2") }

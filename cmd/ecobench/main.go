@@ -1,24 +1,39 @@
 // Command ecobench regenerates every experiment table of the ECOSCALE
-// reproduction (E1–E15; see DESIGN.md for the index and EXPERIMENTS.md
-// for paper-claim vs measured).
+// reproduction (E1–E16 plus ablations A1–A5; see DESIGN.md for the
+// index and EXPERIMENTS.md for paper-claim vs measured). Each
+// experiment's points fan out over a worker pool; output is
+// byte-identical at every -parallel setting.
 //
 // Usage:
 //
-//	ecobench            # run everything
-//	ecobench -run E3    # one experiment
-//	ecobench -csv       # CSV instead of aligned text
-//	ecobench -json      # machine-readable JSON instead of aligned text
-//	ecobench -list      # list experiments
+//	ecobench                  # run everything (pool = GOMAXPROCS)
+//	ecobench -run E3          # one experiment
+//	ecobench -run E3,E4       # several, comma-separated
+//	ecobench -run A           # every id with the prefix (A1–A5)
+//	ecobench -parallel 1      # sequential reference run
+//	ecobench -timeout 30s     # per-point timeout
+//	ecobench -progress        # per-point progress + summary on stderr
+//	ecobench -csv             # CSV instead of aligned text
+//	ecobench -json            # machine-readable JSON instead of aligned text
+//	ecobench -list            # list experiments
+//
+// A failed experiment no longer aborts the run: every failure is
+// reported on stderr and the command exits non-zero at the end.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"strings"
+	"time"
 
 	"ecoscale/internal/experiments"
+	"ecoscale/internal/runner"
+	"ecoscale/internal/trace"
 )
 
 // jsonResult is one experiment table in the -json output.
@@ -30,41 +45,101 @@ type jsonResult struct {
 	Rows    [][]string `json:"rows"`
 }
 
+// selectScenarios resolves a -run spec against the registry: a
+// comma-separated list of tokens, each an exact id (E3) or, when no id
+// matches exactly, a prefix (A → A1–A5, E1 → only E1). Selection keeps
+// registry order per token and drops duplicates.
+func selectScenarios(reg []runner.Scenario, spec string) ([]runner.Scenario, error) {
+	if spec == "" {
+		return reg, nil
+	}
+	var out []runner.Scenario
+	seen := map[string]bool{}
+	for _, tok := range strings.Split(spec, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		var matched []runner.Scenario
+		for _, s := range reg {
+			if s.ID == tok {
+				matched = append(matched, s)
+			}
+		}
+		if len(matched) == 0 {
+			for _, s := range reg {
+				if strings.HasPrefix(s.ID, tok) {
+					matched = append(matched, s)
+				}
+			}
+		}
+		if len(matched) == 0 {
+			return nil, fmt.Errorf("no experiment matches %q (try -list)", tok)
+		}
+		for _, s := range matched {
+			if !seen[s.ID] {
+				seen[s.ID] = true
+				out = append(out, s)
+			}
+		}
+	}
+	return out, nil
+}
+
 func main() {
-	run := flag.String("run", "", "run only this experiment id (e.g. E3)")
+	run := flag.String("run", "", "experiment ids: comma-separated, exact or prefix (e.g. E3,E4 or A)")
 	csv := flag.Bool("csv", false, "emit CSV")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON")
 	list := flag.Bool("list", false, "list experiments and exit")
+	parallel := flag.Int("parallel", 0, "points run concurrently per experiment (0 = GOMAXPROCS, 1 = sequential)")
+	timeout := flag.Duration("timeout", 0, "per-point timeout (0 = none)")
+	progress := flag.Bool("progress", false, "report per-point progress and a runner summary on stderr")
 	flag.Parse()
 
 	reg := experiments.Registry()
 	if *list {
-		for _, e := range reg {
-			fmt.Printf("%-4s %-45s (%s)\n", e.ID, e.Title, e.Source)
+		for _, s := range reg {
+			fmt.Printf("%-4s %-45s (%s)\n", s.ID, s.Title, s.Source)
 		}
 		return
 	}
-	if *run != "" {
-		e, err := experiments.ByID(*run)
-		if err != nil {
-			log.Fatal(err)
-		}
-		reg = []experiments.Experiment{e}
+	sel, err := selectScenarios(reg, *run)
+	if err != nil {
+		log.Fatal(err)
 	}
-	var results []jsonResult
-	for _, e := range reg {
-		if !*jsonOut {
-			fmt.Printf("### %s — %s (%s)\n", e.ID, e.Title, e.Source)
+
+	metrics := trace.NewRegistry()
+	opts := runner.Options{Parallel: *parallel, PointTimeout: *timeout, Metrics: metrics}
+	if *progress {
+		opts.Progress = func(ev runner.Event) {
+			switch ev.Kind {
+			case runner.PointCompleted:
+				fmt.Fprintf(os.Stderr, "[%s %d/%d] %s done in %s\n",
+					ev.Scenario, ev.Index+1, ev.Total, ev.Label, ev.Elapsed.Round(time.Microsecond))
+			case runner.PointFailed:
+				fmt.Fprintf(os.Stderr, "[%s %d/%d] %s FAILED after %s: %v\n",
+					ev.Scenario, ev.Index+1, ev.Total, ev.Label, ev.Elapsed.Round(time.Microsecond), ev.Err)
+			}
 		}
-		tbl, err := e.Run()
+	}
+
+	var results []jsonResult
+	var failures []string
+	start := time.Now()
+	for _, s := range sel {
+		if !*jsonOut {
+			fmt.Printf("### %s — %s (%s)\n", s.ID, s.Title, s.Source)
+		}
+		tbl, err := runner.Run(context.Background(), s, opts)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.ID, err)
-			os.Exit(1)
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", s.ID, err)
+			failures = append(failures, s.ID)
+			continue
 		}
 		switch {
 		case *jsonOut:
 			results = append(results, jsonResult{
-				ID: e.ID, Title: e.Title, Source: e.Source,
+				ID: s.ID, Title: s.Title, Source: s.Source,
 				Columns: tbl.Columns, Rows: tbl.Rows,
 			})
 		case *csv:
@@ -79,5 +154,16 @@ func main() {
 		if err := enc.Encode(results); err != nil {
 			log.Fatal(err)
 		}
+	}
+	if *progress {
+		completed := metrics.CounterTotal(runner.MetricPointsCompleted)
+		failed := metrics.CounterTotal(runner.MetricPointsFailed)
+		fmt.Fprintf(os.Stderr, "runner: %d points completed, %d failed in %s (parallel=%d)\n",
+			completed, failed, time.Since(start).Round(time.Millisecond), *parallel)
+	}
+	if len(failures) > 0 {
+		fmt.Fprintf(os.Stderr, "%d of %d experiments failed: %s\n",
+			len(failures), len(sel), strings.Join(failures, ", "))
+		os.Exit(1)
 	}
 }

@@ -1,176 +1,251 @@
 package experiments
 
-// A1–A4: ablations of the reproduction's own design choices (DESIGN.md
+// A1–A5: ablations of the reproduction's own design choices (DESIGN.md
 // §4 calls these out): stream pipelining depth, accelerator-side
-// caching, machine-tree shape, and UNIMEM page granularity.
+// caching, machine-tree shape, UNIMEM page granularity, and link
+// serialization capacity.
 
 import (
+	"context"
 	"fmt"
 
 	"ecoscale/internal/mpi"
 	"ecoscale/internal/noc"
 	"ecoscale/internal/part"
+	"ecoscale/internal/runner"
 	"ecoscale/internal/sim"
 	"ecoscale/internal/topo"
 	"ecoscale/internal/trace"
 	"ecoscale/internal/unimem"
 )
 
-// A1StreamWindow ablates the in-flight window of UNIMEM streams: the
-// write-combining depth that hides per-line round trips.
-func A1StreamWindow() (*trace.Table, error) {
-	tbl := trace.NewTable("A1: 64 KiB remote stream vs in-flight window",
-		"window", "latency", "speedup vs window 1")
-	var base sim.Time
-	for _, window := range []int{1, 2, 4, 8, 16, 32} {
-		eng := sim.NewEngine(1)
-		tree := topo.NewTree(4, 4)
-		net := noc.NewNetwork(eng, tree, noc.DefaultConfig(tree.MaxHops()), nil, nil)
-		space := unimem.NewSpace(net, unimem.DefaultConfig(), nil)
-		addr := space.Alloc(4, 65536)
-		var lat sim.Time
-		space.StreamRead(0, addr, 65536, window, func([]byte) { lat = eng.Now() })
-		eng.RunUntilIdle()
-		if base == 0 {
-			base = lat
-		}
-		tbl.AddRow(window, fmt.Sprint(lat), fmt.Sprintf("%.2fx", float64(base)/float64(lat)))
-	}
-	return tbl, nil
+// sweepResult carries one (parameter, latency) measurement for the A1
+// and A5 sweeps whose speedup column derives against the first point.
+type sweepResult struct {
+	x int
+	t sim.Time
 }
 
-// A2AccelCaching ablates the ACE cache path: the same worker streams the
-// same 64 KiB twice, with the page's caching right held locally versus
-// parked elsewhere (cache-disabled, the ACE-lite situation).
-func A2AccelCaching() (*trace.Table, error) {
-	tbl := trace.NewTable("A2: repeated 64 KiB local stream, caching right held vs withheld",
-		"caching", "first pass", "second pass", "second-pass speedup")
-	for _, cached := range []bool{true, false} {
-		eng := sim.NewEngine(1)
-		tree := topo.NewTree(4)
-		net := noc.NewNetwork(eng, tree, noc.DefaultConfig(tree.MaxHops()), nil, nil)
-		space := unimem.NewSpace(net, unimem.DefaultConfig(), nil)
-		addr := space.Alloc(0, 65536)
-		if !cached {
-			// Hand the caching right to another worker: worker 0 must
-			// bypass its cache (the UNIMEM one-owner rule).
-			for p := 0; p < 16; p++ {
-				space.SetCacher(addr+uint64(p*4096), 1, nil)
+// scenA1 ablates the in-flight window of UNIMEM streams: the
+// write-combining depth that hides per-line round trips. The "speedup
+// vs window 1" column derives against the first point in Finalize.
+func scenA1() runner.Scenario {
+	return runner.Scenario{
+		ID: "A1", Title: "Ablation: stream in-flight window", Source: "DESIGN.md §4",
+		Table:   "A1: 64 KiB remote stream vs in-flight window",
+		Columns: []string{"window", "latency", "speedup vs window 1"},
+		Points: func() ([]runner.Point, error) {
+			var pts []runner.Point
+			for _, window := range []int{1, 2, 4, 8, 16, 32} {
+				pts = append(pts, runner.Point{
+					Label: fmt.Sprintf("window=%d", window),
+					Run: func(context.Context) (runner.Row, error) {
+						eng := sim.NewEngine(1)
+						tree := topo.NewTree(4, 4)
+						net := noc.NewNetwork(eng, tree, noc.DefaultConfig(tree.MaxHops()), nil, nil)
+						space := unimem.NewSpace(net, unimem.DefaultConfig(), nil)
+						addr := space.Alloc(4, 65536)
+						var lat sim.Time
+						space.StreamRead(0, addr, 65536, window, func([]byte) { lat = eng.Now() })
+						eng.RunUntilIdle()
+						return runner.V(sweepResult{x: window, t: lat}), nil
+					},
+				})
 			}
-			eng.RunUntilIdle()
-		}
-		var first, second sim.Time
-		space.StreamRead(0, addr, 65536, 8, func([]byte) {
-			first = eng.Now()
-			space.StreamRead(0, addr, 65536, 8, func([]byte) { second = eng.Now() - first })
-		})
-		eng.RunUntilIdle()
-		label := "cache disabled"
-		if cached {
-			label = "ACE (cached)"
-		}
-		tbl.AddRow(label, fmt.Sprint(first), fmt.Sprint(second),
-			fmt.Sprintf("%.1fx", float64(first)/float64(second)))
+			return pts, nil
+		},
+		Finalize: func(tbl *trace.Table, rows []runner.Row) error {
+			base := rows[0].Value.(sweepResult).t
+			for _, r := range rows {
+				v := r.Value.(sweepResult)
+				tbl.AddRow(v.x, fmt.Sprint(v.t), fmt.Sprintf("%.2fx", float64(base)/float64(v.t)))
+			}
+			return nil
+		},
 	}
-	return tbl, nil
 }
 
-// A3TreeShape ablates hierarchy depth at fixed machine size: 64 workers
+// scenA2 ablates the ACE cache path: the same worker streams the same
+// 64 KiB twice, with the page's caching right held locally versus
+// parked elsewhere (cache-disabled, the ACE-lite situation).
+func scenA2() runner.Scenario {
+	return runner.Scenario{
+		ID: "A2", Title: "Ablation: accelerator-side caching", Source: "DESIGN.md §4",
+		Table:   "A2: repeated 64 KiB local stream, caching right held vs withheld",
+		Columns: []string{"caching", "first pass", "second pass", "second-pass speedup"},
+		Points: func() ([]runner.Point, error) {
+			var pts []runner.Point
+			for _, cached := range []bool{true, false} {
+				pts = append(pts, runner.Point{
+					Label: fmt.Sprintf("cached=%v", cached),
+					Run: func(context.Context) (runner.Row, error) {
+						eng := sim.NewEngine(1)
+						tree := topo.NewTree(4)
+						net := noc.NewNetwork(eng, tree, noc.DefaultConfig(tree.MaxHops()), nil, nil)
+						space := unimem.NewSpace(net, unimem.DefaultConfig(), nil)
+						addr := space.Alloc(0, 65536)
+						if !cached {
+							// Hand the caching right to another worker: worker 0 must
+							// bypass its cache (the UNIMEM one-owner rule).
+							for p := 0; p < 16; p++ {
+								space.SetCacher(addr+uint64(p*4096), 1, nil)
+							}
+							eng.RunUntilIdle()
+						}
+						var first, second sim.Time
+						space.StreamRead(0, addr, 65536, 8, func([]byte) {
+							first = eng.Now()
+							space.StreamRead(0, addr, 65536, 8, func([]byte) { second = eng.Now() - first })
+						})
+						eng.RunUntilIdle()
+						label := "cache disabled"
+						if cached {
+							label = "ACE (cached)"
+						}
+						return runner.R(label, fmt.Sprint(first), fmt.Sprint(second),
+							fmt.Sprintf("%.1fx", float64(first)/float64(second))), nil
+					},
+				})
+			}
+			return pts, nil
+		},
+	}
+}
+
+// scenA3 ablates hierarchy depth at fixed machine size: 64 workers
 // arranged flat to deep, measured on halo partitioning cost and an
 // allreduce.
-func A3TreeShape() (*trace.Table, error) {
-	tbl := trace.NewTable("A3: 64 workers, tree depth ablation",
-		"tree", "levels", "diameter", "halo weighted hops", "allreduce latency")
-	for _, fan := range [][]int{{64}, {8, 8}, {4, 4, 4}, {2, 2, 2, 2, 2, 2}} {
-		tree := topo.NewTree(fan...)
-		hier := part.Hierarchical(128, 128, tree).Evaluate(tree)
-		eng := sim.NewEngine(1)
-		net := noc.NewNetwork(eng, tree, noc.DefaultConfig(tree.MaxHops()), nil, nil)
-		comm := mpi.WorldComm(net)
-		contrib := make([][]float64, 64)
-		for r := range contrib {
-			contrib[r] = []float64{1}
-		}
-		var lat sim.Time
-		comm.Allreduce(contrib, mpi.OpSum, func([][]float64) { lat = eng.Now() })
-		eng.RunUntilIdle()
-		tbl.AddRow(tree.Name(), tree.Levels(), tree.MaxHops(), hier.WeightedHops, fmt.Sprint(lat))
+func scenA3() runner.Scenario {
+	return runner.Scenario{
+		ID: "A3", Title: "Ablation: machine-tree depth", Source: "DESIGN.md §4",
+		Table:   "A3: 64 workers, tree depth ablation",
+		Columns: []string{"tree", "levels", "diameter", "halo weighted hops", "allreduce latency"},
+		Points: func() ([]runner.Point, error) {
+			var pts []runner.Point
+			for _, fan := range [][]int{{64}, {8, 8}, {4, 4, 4}, {2, 2, 2, 2, 2, 2}} {
+				pts = append(pts, runner.Point{
+					Label: fmt.Sprintf("fan=%v", fan),
+					Run: func(context.Context) (runner.Row, error) {
+						tree := topo.NewTree(fan...)
+						hier := part.Hierarchical(128, 128, tree).Evaluate(tree)
+						eng := sim.NewEngine(1)
+						net := noc.NewNetwork(eng, tree, noc.DefaultConfig(tree.MaxHops()), nil, nil)
+						comm := mpi.WorldComm(net)
+						contrib := make([][]float64, 64)
+						for r := range contrib {
+							contrib[r] = []float64{1}
+						}
+						var lat sim.Time
+						comm.Allreduce(contrib, mpi.OpSum, func([][]float64) { lat = eng.Now() })
+						eng.RunUntilIdle()
+						return runner.R(tree.Name(), tree.Levels(), tree.MaxHops(), hier.WeightedHops, fmt.Sprint(lat)), nil
+					},
+				})
+			}
+			return pts, nil
+		},
 	}
-	return tbl, nil
 }
 
-// A4PageSize ablates the UNIMEM page granularity: remote-read cost is
+// scenA4 ablates the UNIMEM page granularity: remote-read cost is
 // page-size independent, but migration cost and false-sharing exposure
 // scale with the page.
-func A4PageSize() (*trace.Table, error) {
-	tbl := trace.NewTable("A4: UNIMEM page-size ablation",
-		"page bytes", "remote 64B read", "page migration", "cacher handoff (dirty)")
-	for _, page := range []int{1024, 4096, 16384, 65536} {
-		eng := sim.NewEngine(1)
-		tree := topo.NewTree(4, 4)
-		net := noc.NewNetwork(eng, tree, noc.DefaultConfig(tree.MaxHops()), nil, nil)
-		cfg := unimem.DefaultConfig()
-		cfg.PageBytes = page
-		space := unimem.NewSpace(net, cfg, nil)
-		addr := space.Alloc(0, page)
+func scenA4() runner.Scenario {
+	return runner.Scenario{
+		ID: "A4", Title: "Ablation: UNIMEM page size", Source: "DESIGN.md §4",
+		Table:   "A4: UNIMEM page-size ablation",
+		Columns: []string{"page bytes", "remote 64B read", "page migration", "cacher handoff (dirty)"},
+		Points: func() ([]runner.Point, error) {
+			var pts []runner.Point
+			for _, page := range []int{1024, 4096, 16384, 65536} {
+				pts = append(pts, runner.Point{
+					Label: fmt.Sprintf("page=%d", page),
+					Run: func(context.Context) (runner.Row, error) {
+						eng := sim.NewEngine(1)
+						tree := topo.NewTree(4, 4)
+						net := noc.NewNetwork(eng, tree, noc.DefaultConfig(tree.MaxHops()), nil, nil)
+						cfg := unimem.DefaultConfig()
+						cfg.PageBytes = page
+						space := unimem.NewSpace(net, cfg, nil)
+						addr := space.Alloc(0, page)
 
-		var readLat sim.Time
-		start := eng.Now()
-		space.Read(5, addr, 64, func([]byte) { readLat = eng.Now() - start })
-		eng.RunUntilIdle()
+						var readLat sim.Time
+						start := eng.Now()
+						space.Read(5, addr, 64, func([]byte) { readLat = eng.Now() - start })
+						eng.RunUntilIdle()
 
-		start = eng.Now()
-		var migLat sim.Time
-		space.MigratePage(addr, 5, func() { migLat = eng.Now() - start })
-		eng.RunUntilIdle()
+						start = eng.Now()
+						var migLat sim.Time
+						space.MigratePage(addr, 5, func() { migLat = eng.Now() - start })
+						eng.RunUntilIdle()
 
-		// Dirty handoff: a remote cacher dirties its copy of a fresh
-		// page, then the caching right moves — the flush scales with
-		// the dirty footprint inside the page.
-		addr2 := space.Alloc(0, page)
-		space.SetCacher(addr2, 5, nil)
-		eng.RunUntilIdle()
-		for off := 0; off < page; off += 256 {
-			space.Write(5, addr2+uint64(off), make([]byte, 64), nil)
-		}
-		eng.RunUntilIdle()
-		start = eng.Now()
-		var handLat sim.Time
-		space.SetCacher(addr2, 0, func() { handLat = eng.Now() - start })
-		eng.RunUntilIdle()
+						// Dirty handoff: a remote cacher dirties its copy of a fresh
+						// page, then the caching right moves — the flush scales with
+						// the dirty footprint inside the page.
+						addr2 := space.Alloc(0, page)
+						space.SetCacher(addr2, 5, nil)
+						eng.RunUntilIdle()
+						for off := 0; off < page; off += 256 {
+							space.Write(5, addr2+uint64(off), make([]byte, 64), nil)
+						}
+						eng.RunUntilIdle()
+						start = eng.Now()
+						var handLat sim.Time
+						space.SetCacher(addr2, 0, func() { handLat = eng.Now() - start })
+						eng.RunUntilIdle()
 
-		tbl.AddRow(page, fmt.Sprint(readLat), fmt.Sprint(migLat), fmt.Sprint(handLat))
+						return runner.R(page, fmt.Sprint(readLat), fmt.Sprint(migLat), fmt.Sprint(handLat)), nil
+					},
+				})
+			}
+			return pts, nil
+		},
 	}
-	return tbl, nil
 }
 
-// A5LinkCapacity ablates the per-link serialization capacity of the
-// multi-layer interconnect: 8 workers concurrently stream 64 KiB each
-// from worker 0's DRAM, serializing on its uplink.
-func A5LinkCapacity() (*trace.Table, error) {
-	tbl := trace.NewTable("A5: hotspot drain time vs link serialization capacity",
-		"link capacity", "completion", "speedup vs capacity 1")
-	var base sim.Time
-	for _, capacity := range []int{1, 2, 4} {
-		eng := sim.NewEngine(1)
-		tree := topo.NewTree(8)
-		cfg := noc.DefaultConfig(tree.MaxHops())
-		cfg.LinkCapacity = capacity
-		net := noc.NewNetwork(eng, tree, cfg, nil, nil)
-		space := unimem.NewSpace(net, unimem.DefaultConfig(), nil)
-		addr := space.Alloc(0, 65536)
-		done := 0
-		for w := 1; w < 8; w++ {
-			space.StreamRead(w, addr, 65536, 8, func([]byte) { done++ })
-		}
-		end := eng.RunUntilIdle()
-		if done != 7 {
-			return nil, fmt.Errorf("A5: %d of 7 streams completed", done)
-		}
-		if base == 0 {
-			base = end
-		}
-		tbl.AddRow(capacity, fmt.Sprint(end), fmt.Sprintf("%.2fx", float64(base)/float64(end)))
+// scenA5 ablates the per-link serialization capacity of the multi-layer
+// interconnect: 8 workers concurrently stream 64 KiB each from worker
+// 0's DRAM, serializing on its uplink. The "speedup vs capacity 1"
+// column derives against the first point in Finalize.
+func scenA5() runner.Scenario {
+	return runner.Scenario{
+		ID: "A5", Title: "Ablation: interconnect link capacity", Source: "DESIGN.md §4",
+		Table:   "A5: hotspot drain time vs link serialization capacity",
+		Columns: []string{"link capacity", "completion", "speedup vs capacity 1"},
+		Points: func() ([]runner.Point, error) {
+			var pts []runner.Point
+			for _, capacity := range []int{1, 2, 4} {
+				pts = append(pts, runner.Point{
+					Label: fmt.Sprintf("capacity=%d", capacity),
+					Run: func(context.Context) (runner.Row, error) {
+						eng := sim.NewEngine(1)
+						tree := topo.NewTree(8)
+						cfg := noc.DefaultConfig(tree.MaxHops())
+						cfg.LinkCapacity = capacity
+						net := noc.NewNetwork(eng, tree, cfg, nil, nil)
+						space := unimem.NewSpace(net, unimem.DefaultConfig(), nil)
+						addr := space.Alloc(0, 65536)
+						done := 0
+						for w := 1; w < 8; w++ {
+							space.StreamRead(w, addr, 65536, 8, func([]byte) { done++ })
+						}
+						end := eng.RunUntilIdle()
+						if done != 7 {
+							return runner.Row{}, fmt.Errorf("A5: %d of 7 streams completed", done)
+						}
+						return runner.V(sweepResult{x: capacity, t: end}), nil
+					},
+				})
+			}
+			return pts, nil
+		},
+		Finalize: func(tbl *trace.Table, rows []runner.Row) error {
+			base := rows[0].Value.(sweepResult).t
+			for _, r := range rows {
+				v := r.Value.(sweepResult)
+				tbl.AddRow(v.x, fmt.Sprint(v.t), fmt.Sprintf("%.2fx", float64(base)/float64(v.t)))
+			}
+			return nil
+		},
 	}
-	return tbl, nil
 }

@@ -4,14 +4,15 @@ package experiments
 // virtualization block, bitstream compression, fabric fragmentation).
 
 import (
+	"context"
 	"fmt"
 
 	"ecoscale"
 	"ecoscale/internal/accel"
 	"ecoscale/internal/energy"
 	"ecoscale/internal/fabric"
+	"ecoscale/internal/runner"
 	"ecoscale/internal/sim"
-	"ecoscale/internal/trace"
 	"ecoscale/internal/unilogic"
 )
 
@@ -58,114 +59,159 @@ func burst(policy unilogic.Policy, virtualize bool, workers, nEngines, nCalls, p
 	return end - start, m.Domain.Balance("montecarlo"), nil
 }
 
-// E6Sharing compares the UNILOGIC shared pool against private
-// accelerators under skewed demand across engine counts.
-func E6Sharing() (*trace.Table, error) {
-	tbl := trace.NewTable("E6: 32-call burst at one worker, compute-bound 8192-path pricing",
-		"engines", "shared makespan", "private makespan", "UNILOGIC speedup", "shared balance")
-	for _, engines := range []int{1, 2, 4, 8} {
-		shared, bal, err := burst(unilogic.Shared, true, 8, engines, 32, 8192)
-		if err != nil {
-			return nil, err
-		}
-		private, _, err := burst(unilogic.Private, true, 8, engines, 32, 8192)
-		if err != nil {
-			return nil, err
-		}
-		tbl.AddRow(engines, fmt.Sprint(shared), fmt.Sprint(private),
-			fmt.Sprintf("%.2fx", float64(private)/float64(shared)), fmt.Sprintf("%.2f", bal))
-	}
-	return tbl, nil
-}
-
-// E7Pipelining measures the Virtualization block: many short calls
-// through one engine, pipelined versus serialized, across call sizes
-// (the shorter the call, the larger the drain fraction the block hides).
-func E7Pipelining() (*trace.Table, error) {
-	tbl := trace.NewTable("E7: 256 calls through one engine — fine-grain pipelined sharing",
-		"paths/call", "serialized", "virtualized", "speedup")
-	for _, paths := range []int{16, 64, 256, 1024} {
-		serial, _, err := burst(unilogic.Shared, false, 2, 1, 256, paths)
-		if err != nil {
-			return nil, err
-		}
-		pipe, _, err := burst(unilogic.Shared, true, 2, 1, 256, paths)
-		if err != nil {
-			return nil, err
-		}
-		tbl.AddRow(paths, fmt.Sprint(serial), fmt.Sprint(pipe),
-			fmt.Sprintf("%.2fx", float64(serial)/float64(pipe)))
-	}
-	return tbl, nil
-}
-
-// E8Compression measures configuration-data compression (ref [11]):
-// bitstream size, reconfiguration latency and energy, plain vs RLE,
-// across module sizes and configuration densities.
-func E8Compression() (*trace.Table, error) {
-	tbl := trace.NewTable("E8: partial reconfiguration with and without bitstream compression",
-		"regions", "density", "plain bytes", "rle bytes", "plain latency", "rle latency", "energy saved")
-	eng := sim.NewEngine(1)
-	meter := energy.NewMeter(eng, energy.DefaultCostModel())
-	fab := fabric.New(eng, fabric.DefaultConfig(), meter)
-	per := fab.Config().PerRegion
-	for _, regions := range []int{1, 4, 16} {
-		for _, density := range []float64{0.1, 0.25, 0.5} {
-			mod := fabric.Module{Name: fmt.Sprintf("m%dd%.0f", regions, density*100), Req: per.Scale(regions)}
-			p, err := fab.Place(mod)
-			if err != nil {
-				return nil, err
+// scenE6 compares the UNILOGIC shared pool against private accelerators
+// under skewed demand across engine counts.
+func scenE6() runner.Scenario {
+	return runner.Scenario{
+		ID: "E6", Title: "Shared vs private reconfigurable blocks", Source: "§4.1 UNILOGIC",
+		Table:   "E6: 32-call burst at one worker, compute-bound 8192-path pricing",
+		Columns: []string{"engines", "shared makespan", "private makespan", "UNILOGIC speedup", "shared balance"},
+		Points: func() ([]runner.Point, error) {
+			var pts []runner.Point
+			for _, engines := range []int{1, 2, 4, 8} {
+				pts = append(pts, runner.Point{
+					Label: fmt.Sprintf("engines=%d", engines),
+					Run: func(context.Context) (runner.Row, error) {
+						shared, bal, err := burst(unilogic.Shared, true, 8, engines, 32, 8192)
+						if err != nil {
+							return runner.Row{}, err
+						}
+						private, _, err := burst(unilogic.Private, true, 8, engines, 32, 8192)
+						if err != nil {
+							return runner.Row{}, err
+						}
+						return runner.R(engines, fmt.Sprint(shared), fmt.Sprint(private),
+							fmt.Sprintf("%.2fx", float64(private)/float64(shared)), fmt.Sprintf("%.2f", bal)), nil
+					},
+				})
 			}
-			bs := fab.BitstreamFor(p, density)
-			rle := fabric.CompressRLE(bs)
-			plainLat := fab.LoadLatency(p, fabric.LoadOptions{Density: density})
-			rleLat := fab.LoadLatency(p, fabric.LoadOptions{Density: density, Compressed: true})
-			saved := energy.Joules(len(bs)-len(rle)) * meter.Model.ReconfigPerByte
-			tbl.AddRow(regions, density, len(bs), len(rle),
-				fmt.Sprint(plainLat), fmt.Sprint(rleLat), saved.String())
-			fab.Remove(p)
-		}
+			return pts, nil
+		},
 	}
-	return tbl, nil
 }
 
-// E9Defrag runs module churn on a fabric and measures placement failure
+// scenE7 measures the Virtualization block: many short calls through
+// one engine, pipelined versus serialized, across call sizes (the
+// shorter the call, the larger the drain fraction the block hides).
+func scenE7() runner.Scenario {
+	return runner.Scenario{
+		ID: "E7", Title: "Fine-grain pipelined sharing", Source: "§4.1 Virtualization block",
+		Table:   "E7: 256 calls through one engine — fine-grain pipelined sharing",
+		Columns: []string{"paths/call", "serialized", "virtualized", "speedup"},
+		Points: func() ([]runner.Point, error) {
+			var pts []runner.Point
+			for _, paths := range []int{16, 64, 256, 1024} {
+				pts = append(pts, runner.Point{
+					Label: fmt.Sprintf("paths=%d", paths),
+					Run: func(context.Context) (runner.Row, error) {
+						serial, _, err := burst(unilogic.Shared, false, 2, 1, 256, paths)
+						if err != nil {
+							return runner.Row{}, err
+						}
+						pipe, _, err := burst(unilogic.Shared, true, 2, 1, 256, paths)
+						if err != nil {
+							return runner.Row{}, err
+						}
+						return runner.R(paths, fmt.Sprint(serial), fmt.Sprint(pipe),
+							fmt.Sprintf("%.2fx", float64(serial)/float64(pipe))), nil
+					},
+				})
+			}
+			return pts, nil
+		},
+	}
+}
+
+// scenE8 measures configuration-data compression (ref [11]): bitstream
+// size, reconfiguration latency and energy, plain vs RLE, across module
+// sizes and configuration densities. Each (regions, density) cell
+// places its module on a fresh fabric — equivalent to the place/remove
+// cycle on a shared one, and independent across points.
+func scenE8() runner.Scenario {
+	return runner.Scenario{
+		ID: "E8", Title: "Bitstream compression", Source: "§4.3, ref [11]",
+		Table:   "E8: partial reconfiguration with and without bitstream compression",
+		Columns: []string{"regions", "density", "plain bytes", "rle bytes", "plain latency", "rle latency", "energy saved"},
+		Points: func() ([]runner.Point, error) {
+			var pts []runner.Point
+			for _, regions := range []int{1, 4, 16} {
+				for _, density := range []float64{0.1, 0.25, 0.5} {
+					pts = append(pts, runner.Point{
+						Label: fmt.Sprintf("regions=%d/density=%.2f", regions, density),
+						Run: func(context.Context) (runner.Row, error) {
+							eng := sim.NewEngine(1)
+							meter := energy.NewMeter(eng, energy.DefaultCostModel())
+							fab := fabric.New(eng, fabric.DefaultConfig(), meter)
+							per := fab.Config().PerRegion
+							mod := fabric.Module{Name: fmt.Sprintf("m%dd%.0f", regions, density*100), Req: per.Scale(regions)}
+							p, err := fab.Place(mod)
+							if err != nil {
+								return runner.Row{}, err
+							}
+							bs := fab.BitstreamFor(p, density)
+							rle := fabric.CompressRLE(bs)
+							plainLat := fab.LoadLatency(p, fabric.LoadOptions{Density: density})
+							rleLat := fab.LoadLatency(p, fabric.LoadOptions{Density: density, Compressed: true})
+							saved := energy.Joules(len(bs)-len(rle)) * meter.Model.ReconfigPerByte
+							return runner.R(regions, density, len(bs), len(rle),
+								fmt.Sprint(plainLat), fmt.Sprint(rleLat), saved.String()), nil
+						},
+					})
+				}
+			}
+			return pts, nil
+		},
+	}
+}
+
+// scenE9 runs module churn on a fabric and measures placement failure
 // rate and largest placeable module, with and without periodic
 // defragmentation — the middleware virtualization feature of §4.3.
-func E9Defrag() (*trace.Table, error) {
-	tbl := trace.NewTable("E9: 600 load/unload churn steps on an 8x8 fabric",
-		"defrag", "placement failures", "final utilization", "largest free box", "modules moved")
-	for _, defrag := range []bool{false, true} {
-		eng := sim.NewEngine(1)
-		fab := fabric.New(eng, fabric.DefaultConfig(), nil)
-		per := fab.Config().PerRegion
-		rng := sim.NewRNG(42)
-		var live []*fabric.Placement
-		failures, moved := 0, 0
-		for i := 0; i < 600; i++ {
-			if len(live) > 0 && rng.Float64() < 0.45 {
-				k := rng.Intn(len(live))
-				fab.Remove(live[k])
-				live = append(live[:k], live[k+1:]...)
-				continue
+func scenE9() runner.Scenario {
+	return runner.Scenario{
+		ID: "E9", Title: "Fragmentation and defragmentation", Source: "§4.3 middleware",
+		Table:   "E9: 600 load/unload churn steps on an 8x8 fabric",
+		Columns: []string{"defrag", "placement failures", "final utilization", "largest free box", "modules moved"},
+		Points: func() ([]runner.Point, error) {
+			var pts []runner.Point
+			for _, defrag := range []bool{false, true} {
+				pts = append(pts, runner.Point{
+					Label: fmt.Sprintf("defrag=%v", defrag),
+					Run: func(context.Context) (runner.Row, error) {
+						eng := sim.NewEngine(1)
+						fab := fabric.New(eng, fabric.DefaultConfig(), nil)
+						per := fab.Config().PerRegion
+						rng := sim.NewRNG(42)
+						var live []*fabric.Placement
+						failures, moved := 0, 0
+						for i := 0; i < 600; i++ {
+							if len(live) > 0 && rng.Float64() < 0.45 {
+								k := rng.Intn(len(live))
+								fab.Remove(live[k])
+								live = append(live[:k], live[k+1:]...)
+								continue
+							}
+							mod := fabric.Module{Name: fmt.Sprintf("c%d", i), Req: per.Scale(1 + rng.Intn(6))}
+							p, err := fab.Place(mod)
+							if err != nil {
+								if defrag {
+									moved += fab.Defragment()
+									if p2, err2 := fab.Place(mod); err2 == nil {
+										live = append(live, p2)
+										continue
+									}
+								}
+								failures++
+								continue
+							}
+							live = append(live, p)
+						}
+						return runner.R(defrag, failures, fmt.Sprintf("%.0f%%", 100*fab.Utilization()),
+							fab.LargestFreeBox(), moved), nil
+					},
+				})
 			}
-			mod := fabric.Module{Name: fmt.Sprintf("c%d", i), Req: per.Scale(1 + rng.Intn(6))}
-			p, err := fab.Place(mod)
-			if err != nil {
-				if defrag {
-					moved += fab.Defragment()
-					if p2, err2 := fab.Place(mod); err2 == nil {
-						live = append(live, p2)
-						continue
-					}
-				}
-				failures++
-				continue
-			}
-			live = append(live, p)
-		}
-		tbl.AddRow(defrag, failures, fmt.Sprintf("%.0f%%", 100*fab.Utilization()),
-			fab.LargestFreeBox(), moved)
+			return pts, nil
+		},
 	}
-	return tbl, nil
 }

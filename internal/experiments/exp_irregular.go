@@ -9,43 +9,57 @@ package experiments
 // density is the PGAS argument in one table.
 
 import (
+	"context"
 	"fmt"
 
 	"ecoscale/internal/noc"
+	"ecoscale/internal/runner"
 	"ecoscale/internal/sim"
 	"ecoscale/internal/topo"
-	"ecoscale/internal/trace"
 	"ecoscale/internal/unimem"
 )
 
-// E16Irregular measures a sparse gather from a 256 KiB remote table at
+// scenE16 measures a sparse gather from a 256 KiB remote table at
 // varying touch densities: fine-grain remote loads vs DMA-the-table.
-func E16Irregular() (*trace.Table, error) {
-	tbl := trace.NewTable("E16: sparse gather from a 256 KiB remote table — load/store vs bulk DMA",
-		"touched", "density", "pgas load/store", "dma whole table", "winner")
+// Each density is one point; every point measures its own DMA baseline
+// (the result is density-independent, which the shape test asserts).
+func scenE16() runner.Scenario {
 	const tableBytes = 256 << 10
 	const wordBytes = 8
 	words := tableBytes / wordBytes
-	for _, density := range []float64{0.001, 0.01, 0.05, 0.2, 0.5} {
-		touched := int(float64(words) * density)
-		if touched < 1 {
-			touched = 1
-		}
-		ls, err := gatherLoadStore(tableBytes, touched)
-		if err != nil {
-			return nil, err
-		}
-		dma, err := gatherDMA(tableBytes)
-		if err != nil {
-			return nil, err
-		}
-		winner := "load/store"
-		if dma < ls {
-			winner = "dma"
-		}
-		tbl.AddRow(touched, density, fmt.Sprint(ls), fmt.Sprint(dma), winner)
+	return runner.Scenario{
+		ID: "E16", Title: "Irregular access: PGAS gather vs bulk DMA", Source: "§2 'irregular communication patterns'",
+		Table:   "E16: sparse gather from a 256 KiB remote table — load/store vs bulk DMA",
+		Columns: []string{"touched", "density", "pgas load/store", "dma whole table", "winner"},
+		Points: func() ([]runner.Point, error) {
+			var pts []runner.Point
+			for _, density := range []float64{0.001, 0.01, 0.05, 0.2, 0.5} {
+				pts = append(pts, runner.Point{
+					Label: fmt.Sprintf("density=%g", density),
+					Run: func(context.Context) (runner.Row, error) {
+						touched := int(float64(words) * density)
+						if touched < 1 {
+							touched = 1
+						}
+						ls, err := gatherLoadStore(tableBytes, touched)
+						if err != nil {
+							return runner.Row{}, err
+						}
+						dma, err := gatherDMA(tableBytes)
+						if err != nil {
+							return runner.Row{}, err
+						}
+						winner := "load/store"
+						if dma < ls {
+							winner = "dma"
+						}
+						return runner.R(touched, density, fmt.Sprint(ls), fmt.Sprint(dma), winner), nil
+					},
+				})
+			}
+			return pts, nil
+		},
 	}
-	return tbl, nil
 }
 
 // gatherLoadStore fetches `touched` random words from a remote table via

@@ -4,6 +4,7 @@ package experiments
 // scheduling, accelerator chaining, exascale power extrapolation).
 
 import (
+	"context"
 	"fmt"
 
 	"ecoscale"
@@ -11,140 +12,186 @@ import (
 	"ecoscale/internal/energy"
 	"ecoscale/internal/hls"
 	"ecoscale/internal/rts"
+	"ecoscale/internal/runner"
 	"ecoscale/internal/sim"
 	"ecoscale/internal/trace"
 )
 
-// E10Dispatch compares the dispatch policies of §4.2 on a mixed-size
+// e10Result carries one policy's raw measurement; the "vs always-sw"
+// column is derived against the first (always-sw) point in Finalize.
+type e10Result struct {
+	policy  string
+	end     sim.Time
+	cpu, hw uint64
+}
+
+// scenE10 compares the dispatch policies of §4.2 on a mixed-size
 // CART-split stream: static CPU, static HW, the history-trained model,
 // and the perfect-knowledge oracle.
-func E10Dispatch() (*trace.Table, error) {
-	w, err := ecoscale.KernelByName("cartsplit")
-	if err != nil {
-		return nil, err
-	}
-	kernel := w.Kernel()
+func scenE10() runner.Scenario {
 	sizes := []int{64, 32768, 128, 65536, 96, 49152, 64, 32768, 128, 65536,
 		96, 49152, 64, 65536, 128, 32768, 96, 65536, 64, 49152}
-	tbl := trace.NewTable("E10: 20-call mixed-size CART split stream",
-		"policy", "makespan", "cpu calls", "hw calls", "vs always-sw")
-	var baseline sim.Time
-	for _, policy := range []rts.Policy{rts.PolicyCPU{}, rts.PolicyHW{}, rts.PolicyModel{}, rts.PolicyOracle{}} {
-		m := ecoscale.New(ecoscale.DefaultConfig(4, 1))
-		if _, err := m.DeployKernel(w.Source,
-			ecoscale.Directives{Unroll: 16, MemPorts: 16, Share: 1, Pipeline: true}, 0); err != nil {
-			return nil, err
-		}
-		s := m.Scheds[0]
-		s.Policy = policy
-		rng := sim.NewRNG(11)
-		x := m.Space.Alloc(0, 65536*8)
-		y := m.Space.Alloc(0, 65536*8)
-		out := m.Space.Alloc(0, 4096)
-		start := m.Eng.Now()
-		idx := 0
-		var submit func()
-		submit = func() {
-			if idx == len(sizes) {
-				return
-			}
-			n := sizes[idx]
-			idx++
-			args, bindings := w.Make(n, rng)
-			stats, err := hls.Run(kernel, args)
+	return runner.Scenario{
+		ID: "E10", Title: "Model-driven SW/HW dispatch", Source: "§4.2 runtime models",
+		Table:   "E10: 20-call mixed-size CART split stream",
+		Columns: []string{"policy", "makespan", "cpu calls", "hw calls", "vs always-sw"},
+		Points: func() ([]runner.Point, error) {
+			w, err := ecoscale.KernelByName("cartsplit")
 			if err != nil {
-				return
+				return nil, err
 			}
-			s.Submit(&rts.Task{
-				Kernel: "cartsplit", Bindings: bindings,
-				Reads:   []accel.Span{{Addr: x, Size: n * 8}, {Addr: y, Size: n * 8}},
-				Writes:  []accel.Span{{Addr: out, Size: 24}},
-				SWStats: stats,
-			}, func(rts.Device, error) { submit() })
-		}
-		submit()
-		end := m.Run() - start
-		if s.Executed(rts.DeviceCPU)+s.Executed(rts.DeviceHW) != uint64(len(sizes)) {
-			return nil, fmt.Errorf("E10: tasks lost under %s", policy.Name())
-		}
-		if baseline == 0 {
-			baseline = end
-		}
-		tbl.AddRow(policy.Name(), fmt.Sprint(end),
-			s.Executed(rts.DeviceCPU), s.Executed(rts.DeviceHW),
-			fmt.Sprintf("%.2fx", float64(baseline)/float64(end)))
+			var pts []runner.Point
+			for _, policy := range []rts.Policy{rts.PolicyCPU{}, rts.PolicyHW{}, rts.PolicyModel{}, rts.PolicyOracle{}} {
+				pts = append(pts, runner.Point{
+					Label: policy.Name(),
+					Run: func(context.Context) (runner.Row, error) {
+						kernel := w.Kernel()
+						m := ecoscale.New(ecoscale.DefaultConfig(4, 1))
+						if _, err := m.DeployKernel(w.Source,
+							ecoscale.Directives{Unroll: 16, MemPorts: 16, Share: 1, Pipeline: true}, 0); err != nil {
+							return runner.Row{}, err
+						}
+						s := m.Scheds[0]
+						s.Policy = policy
+						rng := sim.NewRNG(11)
+						x := m.Space.Alloc(0, 65536*8)
+						y := m.Space.Alloc(0, 65536*8)
+						out := m.Space.Alloc(0, 4096)
+						start := m.Eng.Now()
+						idx := 0
+						var submit func()
+						submit = func() {
+							if idx == len(sizes) {
+								return
+							}
+							n := sizes[idx]
+							idx++
+							args, bindings := w.Make(n, rng)
+							stats, err := hls.Run(kernel, args)
+							if err != nil {
+								return
+							}
+							s.Submit(&rts.Task{
+								Kernel: "cartsplit", Bindings: bindings,
+								Reads:   []accel.Span{{Addr: x, Size: n * 8}, {Addr: y, Size: n * 8}},
+								Writes:  []accel.Span{{Addr: out, Size: 24}},
+								SWStats: stats,
+							}, func(rts.Device, error) { submit() })
+						}
+						submit()
+						end := m.Run() - start
+						if s.Executed(rts.DeviceCPU)+s.Executed(rts.DeviceHW) != uint64(len(sizes)) {
+							return runner.Row{}, fmt.Errorf("E10: tasks lost under %s", policy.Name())
+						}
+						return runner.V(e10Result{policy: policy.Name(), end: end,
+							cpu: s.Executed(rts.DeviceCPU), hw: s.Executed(rts.DeviceHW)}), nil
+					},
+				})
+			}
+			return pts, nil
+		},
+		Finalize: func(tbl *trace.Table, rows []runner.Row) error {
+			baseline := rows[0].Value.(e10Result).end
+			for _, r := range rows {
+				v := r.Value.(e10Result)
+				tbl.AddRow(v.policy, fmt.Sprint(v.end), v.cpu, v.hw,
+					fmt.Sprintf("%.2fx", float64(baseline)/float64(v.end)))
+			}
+			return nil
+		},
 	}
-	return tbl, nil
 }
 
-// E11LazySched compares full status polling against Lazy-Scheduling-
-// style single probes: monitoring messages per successful steal and
-// makespan under an imbalanced task arrival.
-func E11LazySched() (*trace.Table, error) {
-	tbl := trace.NewTable("E11: imbalanced burst (all tasks at worker 0), work stealing strategies",
-		"workers", "strategy", "makespan", "steals", "monitor msgs", "msgs/steal")
-	for _, workers := range []int{4, 16, 64} {
-		for _, kind := range []rts.BalanceKind{rts.NoBalance, rts.Polling, rts.Lazy} {
-			cfg := ecoscale.DefaultConfig(workers, 1)
-			cfg.Balance = kind
-			m := ecoscale.New(cfg)
-			for _, s := range m.Scheds {
-				s.Policy = rts.PolicyCPU{}
-				s.Cores = 1
+// scenE11 compares full status polling against Lazy-Scheduling-style
+// single probes: monitoring messages per successful steal and makespan
+// under an imbalanced task arrival.
+func scenE11() runner.Scenario {
+	return runner.Scenario{
+		ID: "E11", Title: "Lazy vs polling load balance", Source: "§4.2, ref [9]",
+		Table:   "E11: imbalanced burst (all tasks at worker 0), work stealing strategies",
+		Columns: []string{"workers", "strategy", "makespan", "steals", "monitor msgs", "msgs/steal"},
+		Points: func() ([]runner.Point, error) {
+			var pts []runner.Point
+			for _, workers := range []int{4, 16, 64} {
+				for _, kind := range []rts.BalanceKind{rts.NoBalance, rts.Polling, rts.Lazy} {
+					pts = append(pts, runner.Point{
+						Label: fmt.Sprintf("workers=%d/%s", workers, kind),
+						Run: func(context.Context) (runner.Row, error) {
+							cfg := ecoscale.DefaultConfig(workers, 1)
+							cfg.Balance = kind
+							m := ecoscale.New(cfg)
+							for _, s := range m.Scheds {
+								s.Policy = rts.PolicyCPU{}
+								s.Cores = 1
+							}
+							// Seed all workers so completions trigger idle probes, then
+							// the burst lands on worker 0.
+							mkTask := func(ops uint64) *rts.Task {
+								return &rts.Task{Kernel: "t", Bindings: map[string]float64{},
+									SWStats: hls.RunStats{Ops: ops, Loads: ops / 4, Stores: ops / 8}}
+							}
+							done := 0
+							for w := 1; w < workers; w++ {
+								m.Cluster.Submit(w, mkTask(100), func(rts.Device, error) { done++ })
+							}
+							total := 8 * workers
+							for i := 0; i < total; i++ {
+								m.Cluster.Submit(0, mkTask(20000), func(rts.Device, error) { done++ })
+							}
+							end := m.Run()
+							if done != total+workers-1 {
+								return runner.Row{}, fmt.Errorf("E11: %d of %d tasks done", done, total+workers-1)
+							}
+							perSteal := "-"
+							if m.Cluster.Steals > 0 {
+								perSteal = fmt.Sprintf("%.1f", float64(m.Cluster.StealMsgs)/float64(m.Cluster.Steals))
+							}
+							return runner.R(workers, kind.String(), fmt.Sprint(end),
+								m.Cluster.Steals, m.Cluster.StealMsgs, perSteal), nil
+						},
+					})
+				}
 			}
-			// Seed all workers so completions trigger idle probes, then
-			// the burst lands on worker 0.
-			mkTask := func(ops uint64) *rts.Task {
-				return &rts.Task{Kernel: "t", Bindings: map[string]float64{},
-					SWStats: hls.RunStats{Ops: ops, Loads: ops / 4, Stores: ops / 8}}
-			}
-			done := 0
-			for w := 1; w < workers; w++ {
-				m.Cluster.Submit(w, mkTask(100), func(rts.Device, error) { done++ })
-			}
-			total := 8 * workers
-			for i := 0; i < total; i++ {
-				m.Cluster.Submit(0, mkTask(20000), func(rts.Device, error) { done++ })
-			}
-			end := m.Run()
-			if done != total+workers-1 {
-				return nil, fmt.Errorf("E11: %d of %d tasks done", done, total+workers-1)
-			}
-			perSteal := "-"
-			if m.Cluster.Steals > 0 {
-				perSteal = fmt.Sprintf("%.1f", float64(m.Cluster.StealMsgs)/float64(m.Cluster.Steals))
-			}
-			tbl.AddRow(workers, kind.String(), fmt.Sprint(end),
-				m.Cluster.Steals, m.Cluster.StealMsgs, perSteal)
-		}
+			return pts, nil
+		},
 	}
-	return tbl, nil
 }
 
-// E12Chaining compares a chained accelerator pipeline with
-// store-and-forward invocations of the same stages (§4.3: chaining
-// "will substantially increase the amount of processing that is carried
-// out per unit of transferred data").
-func E12Chaining() (*trace.Table, error) {
-	w, err := ecoscale.KernelByName("vecadd")
-	if err != nil {
-		return nil, err
+// scenE12 compares a chained accelerator pipeline with store-and-forward
+// invocations of the same stages (§4.3: chaining "will substantially
+// increase the amount of processing that is carried out per unit of
+// transferred data").
+func scenE12() runner.Scenario {
+	return runner.Scenario{
+		ID: "E12", Title: "Accelerator chaining", Source: "§4.3 'processing pipelines'",
+		Table:   "E12: k-stage pipeline over a 64 KiB buffer — chained vs store-and-forward",
+		Columns: []string{"stages", "separate calls", "chained", "speedup", "bytes moved separate", "bytes moved chained"},
+		Points: func() ([]runner.Point, error) {
+			w, err := ecoscale.KernelByName("vecadd")
+			if err != nil {
+				return nil, err
+			}
+			var pts []runner.Point
+			for _, stages := range []int{2, 3, 5} {
+				pts = append(pts, runner.Point{
+					Label: fmt.Sprintf("stages=%d", stages),
+					Run: func(context.Context) (runner.Row, error) {
+						sep, sepBytes, err := chainRun(w, stages, false)
+						if err != nil {
+							return runner.Row{}, err
+						}
+						chained, chBytes, err := chainRun(w, stages, true)
+						if err != nil {
+							return runner.Row{}, err
+						}
+						return runner.R(stages, fmt.Sprint(sep), fmt.Sprint(chained),
+							fmt.Sprintf("%.2fx", float64(sep)/float64(chained)), sepBytes, chBytes), nil
+					},
+				})
+			}
+			return pts, nil
+		},
 	}
-	tbl := trace.NewTable("E12: k-stage pipeline over a 64 KiB buffer — chained vs store-and-forward",
-		"stages", "separate calls", "chained", "speedup", "bytes moved separate", "bytes moved chained")
-	for _, stages := range []int{2, 3, 5} {
-		sep, sepBytes, err := chainRun(w, stages, false)
-		if err != nil {
-			return nil, err
-		}
-		chained, chBytes, err := chainRun(w, stages, true)
-		if err != nil {
-			return nil, err
-		}
-		tbl.AddRow(stages, fmt.Sprint(sep), fmt.Sprint(chained),
-			fmt.Sprintf("%.2fx", float64(sep)/float64(chained)), sepBytes, chBytes)
-	}
-	return tbl, nil
 }
 
 func chainRun(w ecoscale.Workload, stages int, chained bool) (sim.Time, uint64, error) {
@@ -201,39 +248,62 @@ kernel stage%d(global float* A, int N) {
 	return m.Eng.Now() - start, moved, nil
 }
 
-// E13Exascale reproduces the §1 power argument: extrapolating measured
+// scenE13 reproduces the §1 power argument: extrapolating measured
 // 2015-era efficiency to an exaflop, and what the energy model says an
 // ECOSCALE-style CPU+FPGA node changes.
-func E13Exascale() (*trace.Table, error) {
-	tbl := trace.NewTable("E13: exaflop power extrapolation",
-		"design point", "GF/W", "exaflop power (MW)")
-	tbl.AddRow(energy.Tianhe2.Name, fmt.Sprintf("%.2f", energy.Tianhe2.GFlopsPerWatt()),
-		fmt.Sprintf("%.0f", energy.ExtrapolateToExaflop(energy.Tianhe2)))
-	tbl.AddRow(energy.Green500Top2015.Name, fmt.Sprintf("%.2f", energy.Green500Top2015.GFlopsPerWatt()),
-		fmt.Sprintf("%.0f", energy.ExtrapolateToExaflop(energy.Green500Top2015)))
-
-	cost := energy.DefaultCostModel()
+func scenE13() runner.Scenario {
+	gfw := func(s energy.ScalingModel) float64 {
+		return s.FlopsPerNode / 1e9 / (float64(s.EnergyPerFlop)*s.FlopsPerNode + float64(s.StaticPerNodeW))
+	}
 	// CPU-only node: every flop costs a CPU op plus its share of cache
 	// and DRAM traffic (1 cache access per 4 flops, 1 DRAM line per 32).
-	cpuNode := energy.ScalingModel{
-		EnergyPerFlop:  cost.CPUOp + cost.CacheAccess/4 + cost.DRAMAccess/32,
-		StaticPerNodeW: cost.CPUStatic*4 + cost.DRAMStatic,
-		FlopsPerNode:   4 * 8e9, // 4 cores x 8 GF
+	cpuNode := func(cost energy.CostModel) energy.ScalingModel {
+		return energy.ScalingModel{
+			EnergyPerFlop:  cost.CPUOp + cost.CacheAccess/4 + cost.DRAMAccess/32,
+			StaticPerNodeW: cost.CPUStatic*4 + cost.DRAMStatic,
+			FlopsPerNode:   4 * 8e9, // 4 cores x 8 GF
+		}
 	}
 	// ECOSCALE node: datapath flops at FPGA energy, same memory share,
 	// plus the fabric's static power; sustained rate from pipelined
 	// datapaths.
-	ecoNode := energy.ScalingModel{
-		EnergyPerFlop:  cost.FPGAOp + cost.CacheAccess/4 + cost.DRAMAccess/32,
-		StaticPerNodeW: cost.CPUStatic*1 + cost.FPGAStatic + cost.DRAMStatic,
-		FlopsPerNode:   64e9, // 64 GF of pipelined datapath
+	ecoNode := func(cost energy.CostModel) energy.ScalingModel {
+		return energy.ScalingModel{
+			EnergyPerFlop:  cost.FPGAOp + cost.CacheAccess/4 + cost.DRAMAccess/32,
+			StaticPerNodeW: cost.CPUStatic*1 + cost.FPGAStatic + cost.DRAMStatic,
+			FlopsPerNode:   64e9, // 64 GF of pipelined datapath
+		}
 	}
-	gfw := func(s energy.ScalingModel) float64 {
-		return s.FlopsPerNode / 1e9 / (float64(s.EnergyPerFlop)*s.FlopsPerNode + float64(s.StaticPerNodeW))
+	measured := func(dp energy.MachinePoint) runner.Point {
+		return runner.Point{
+			Label: dp.Name,
+			Run: func(context.Context) (runner.Row, error) {
+				return runner.R(dp.Name, fmt.Sprintf("%.2f", dp.GFlopsPerWatt()),
+					fmt.Sprintf("%.0f", energy.ExtrapolateToExaflop(dp))), nil
+			},
+		}
 	}
-	tbl.AddRow("CPU-only worker (model)", fmt.Sprintf("%.2f", gfw(cpuNode)),
-		fmt.Sprintf("%.0f", cpuNode.ExaflopPowerMW()))
-	tbl.AddRow("ECOSCALE CPU+FPGA worker (model)", fmt.Sprintf("%.2f", gfw(ecoNode)),
-		fmt.Sprintf("%.0f", ecoNode.ExaflopPowerMW()))
-	return tbl, nil
+	modelled := func(name string, build func(energy.CostModel) energy.ScalingModel) runner.Point {
+		return runner.Point{
+			Label: name,
+			Run: func(context.Context) (runner.Row, error) {
+				node := build(energy.DefaultCostModel())
+				return runner.R(name, fmt.Sprintf("%.2f", gfw(node)),
+					fmt.Sprintf("%.0f", node.ExaflopPowerMW())), nil
+			},
+		}
+	}
+	return runner.Scenario{
+		ID: "E13", Title: "Exascale power extrapolation", Source: "§1 '1GW'",
+		Table:   "E13: exaflop power extrapolation",
+		Columns: []string{"design point", "GF/W", "exaflop power (MW)"},
+		Points: func() ([]runner.Point, error) {
+			return []runner.Point{
+				measured(energy.Tianhe2),
+				measured(energy.Green500Top2015),
+				modelled("CPU-only worker (model)", cpuNode),
+				modelled("ECOSCALE CPU+FPGA worker (model)", ecoNode),
+			}, nil
+		},
+	}
 }

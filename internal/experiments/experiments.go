@@ -1,58 +1,36 @@
 // Package experiments contains the reproduction of every figure and
-// quantitative claim in the ECOSCALE paper as runnable experiments
-// (E1–E15, indexed in DESIGN.md). Each experiment builds the machines it
-// needs, runs the workloads, and renders the rows the paper's argument
-// predicts. cmd/ecobench prints them; the root bench_test.go wraps each
+// quantitative claim in the ECOSCALE paper as declarative scenarios
+// (E1–E16 plus ablations A1–A5, indexed in DESIGN.md). Each scenario
+// is an ordered list of independent points; every point builds the
+// machines it needs, runs its workload, and returns the rows the
+// paper's argument predicts. internal/runner executes them —
+// sequentially or fanned out over a worker pool with byte-identical
+// output — cmd/ecobench prints them; the root bench_test.go wraps each
 // in a testing.B benchmark; EXPERIMENTS.md records claim-vs-measured.
 package experiments
 
 import (
 	"fmt"
 
-	"ecoscale/internal/trace"
+	"ecoscale/internal/runner"
 )
 
-// Experiment is one reproducible table generator.
-type Experiment struct {
-	ID     string
-	Title  string
-	Source string // where in the paper the claim lives
-	Run    func() (*trace.Table, error)
-}
-
-// Registry returns all experiments in order.
-func Registry() []Experiment {
-	return []Experiment{
-		{"E1", "Hierarchical vs flat partitioning", "Fig. 1, §2(2)", E1Partitioning},
-		{"E2", "Weak-scaling concurrency sweep", "§2(1) '1000x concurrency'", E2Concurrency},
-		{"E3", "UNIMEM vs directory coherence", "§4.1 'cannot scale'", E3Coherence},
-		{"E4", "Load/store vs DMA small transfers", "§4.1 'DMA not efficient'", E4SmallTransfers},
-		{"E5", "Local vs remote accelerator access", "Fig. 4, ACE vs ACE-lite", E5RemoteAccess},
-		{"E6", "Shared vs private reconfigurable blocks", "§4.1 UNILOGIC", E6Sharing},
-		{"E7", "Fine-grain pipelined sharing", "§4.1 Virtualization block", E7Pipelining},
-		{"E8", "Bitstream compression", "§4.3, ref [11]", E8Compression},
-		{"E9", "Fragmentation and defragmentation", "§4.3 middleware", E9Defrag},
-		{"E10", "Model-driven SW/HW dispatch", "§4.2 runtime models", E10Dispatch},
-		{"E11", "Lazy vs polling load balance", "§4.2, ref [9]", E11LazySched},
-		{"E12", "Accelerator chaining", "§4.3 'processing pipelines'", E12Chaining},
-		{"E13", "Exascale power extrapolation", "§1 '1GW'", E13Exascale},
-		{"E14", "End-to-end flow, SW/HW equivalence", "Fig. 2, Fig. 5", E14EndToEnd},
-		{"E15", "HLS design-space exploration", "§4.3 constraints", E15HLSDSE},
-		{"E16", "Irregular access: PGAS gather vs bulk DMA", "§2 'irregular communication patterns'", E16Irregular},
-		{"A1", "Ablation: stream in-flight window", "DESIGN.md §4", A1StreamWindow},
-		{"A2", "Ablation: accelerator-side caching", "DESIGN.md §4", A2AccelCaching},
-		{"A3", "Ablation: machine-tree depth", "DESIGN.md §4", A3TreeShape},
-		{"A4", "Ablation: UNIMEM page size", "DESIGN.md §4", A4PageSize},
-		{"A5", "Ablation: interconnect link capacity", "DESIGN.md §4", A5LinkCapacity},
+// Registry returns all experiment scenarios in order.
+func Registry() []runner.Scenario {
+	return []runner.Scenario{
+		scenE1(), scenE2(), scenE3(), scenE4(), scenE5(), scenE6(),
+		scenE7(), scenE8(), scenE9(), scenE10(), scenE11(), scenE12(),
+		scenE13(), scenE14(), scenE15(), scenE16(),
+		scenA1(), scenA2(), scenA3(), scenA4(), scenA5(),
 	}
 }
 
-// ByID returns the experiment with the given id.
-func ByID(id string) (Experiment, error) {
-	for _, e := range Registry() {
-		if e.ID == id {
-			return e, nil
+// ByID returns the scenario with the given id.
+func ByID(id string) (runner.Scenario, error) {
+	for _, s := range Registry() {
+		if s.ID == id {
+			return s, nil
 		}
 	}
-	return Experiment{}, fmt.Errorf("experiments: unknown id %q", id)
+	return runner.Scenario{}, fmt.Errorf("experiments: unknown id %q", id)
 }

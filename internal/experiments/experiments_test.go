@@ -5,10 +5,31 @@ package experiments
 // the assertions EXPERIMENTS.md reports.
 
 import (
+	"context"
 	"strconv"
 	"strings"
 	"testing"
+
+	"ecoscale/internal/runner"
+	"ecoscale/internal/trace"
 )
+
+// runExp executes one scenario through the shared runner at -parallel 4
+// — so every shape test also exercises the concurrent path (and, under
+// `go test -race`, audits that no package shares mutable state between
+// engines).
+func runExp(t *testing.T, id string) *trace.Table {
+	t.Helper()
+	s, err := ByID(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := runner.Run(context.Background(), s, runner.Options{Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
 
 // cell parses table cell (r, c) as a float, stripping unit suffixes.
 func cell(t *testing.T, tbl interface{ String() string }, rows [][]string, r, c int) float64 {
@@ -71,24 +92,70 @@ func TestRegistryComplete(t *testing.T) {
 			t.Errorf("ablation %d id %q, want %q", i, e.ID, want)
 		}
 	}
-	for _, e := range reg {
-		if e.Run == nil || e.Title == "" || e.Source == "" {
-			t.Errorf("%s incomplete", e.ID)
+	seen := map[string]bool{}
+	for _, s := range reg {
+		if seen[s.ID] {
+			t.Errorf("duplicate experiment id %s", s.ID)
 		}
-	}
-	if _, err := ByID("E3"); err != nil {
-		t.Error(err)
+		seen[s.ID] = true
+		if s.Points == nil || s.Title == "" || s.Source == "" || s.Table == "" || len(s.Columns) == 0 {
+			t.Errorf("%s incomplete", s.ID)
+		}
+		got, err := ByID(s.ID)
+		if err != nil {
+			t.Errorf("ByID(%s): %v", s.ID, err)
+		} else if got.ID != s.ID || got.Title != s.Title {
+			t.Errorf("ByID(%s) round-trip mismatch: %s/%s", s.ID, got.ID, got.Title)
+		}
+		pts, err := s.Points()
+		if err != nil {
+			t.Errorf("%s: Points() failed: %v", s.ID, err)
+			continue
+		}
+		if len(pts) == 0 {
+			t.Errorf("%s has no points", s.ID)
+		}
+		labels := map[string]bool{}
+		for _, p := range pts {
+			if p.Label == "" || p.Run == nil {
+				t.Errorf("%s has an incomplete point", s.ID)
+			}
+			if labels[p.Label] {
+				t.Errorf("%s: duplicate point label %q", s.ID, p.Label)
+			}
+			labels[p.Label] = true
+		}
 	}
 	if _, err := ByID("E99"); err == nil {
 		t.Error("unknown id should fail")
 	}
 }
 
-func TestE1Shape(t *testing.T) {
-	tbl, err := E1Partitioning()
+// TestParallelMatchesSequential is the determinism regression gate: a
+// representative experiment (E10, whose points share workload setup and
+// formerly threaded a baseline accumulator through loop iterations)
+// must render byte-identically at -parallel 1 and -parallel 4. It runs
+// under `go test -race` via `make race`.
+func TestParallelMatchesSequential(t *testing.T) {
+	s, err := ByID("E10")
 	if err != nil {
 		t.Fatal(err)
 	}
+	seq, err := runner.Run(context.Background(), s, runner.Options{Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := runner.Run(context.Background(), s, runner.Options{Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.String() != par.String() {
+		t.Errorf("E10 parallel output differs from sequential:\n--- sequential\n%s\n--- parallel\n%s", seq, par)
+	}
+}
+
+func TestE1Shape(t *testing.T) {
+	tbl := runExp(t, "E1")
 	// Per machine size, hierarchical weighted hops <= tiles <= strips.
 	for i := 0; i+2 < len(tbl.Rows); i += 3 {
 		strips := cell(t, tbl, tbl.Rows, i, 4)
@@ -102,10 +169,7 @@ func TestE1Shape(t *testing.T) {
 }
 
 func TestE2Shape(t *testing.T) {
-	tbl, err := E2Concurrency()
-	if err != nil {
-		t.Fatal(err)
-	}
+	tbl := runExp(t, "E2")
 	// Weak-scaling efficiency stays ~1 at every size.
 	for i := range tbl.Rows {
 		if eff := cell(t, tbl, tbl.Rows, i, 4); eff < 0.95 {
@@ -115,10 +179,7 @@ func TestE2Shape(t *testing.T) {
 }
 
 func TestE3Shape(t *testing.T) {
-	tbl, err := E3Coherence()
-	if err != nil {
-		t.Fatal(err)
-	}
+	tbl := runExp(t, "E3")
 	last := len(tbl.Rows) - 1
 	dirSmall := cell(t, tbl, tbl.Rows, 0, 2)
 	dirBig := cell(t, tbl, tbl.Rows, last, 2)
@@ -136,10 +197,7 @@ func TestE3Shape(t *testing.T) {
 }
 
 func TestE4Shape(t *testing.T) {
-	tbl, err := E4SmallTransfers()
-	if err != nil {
-		t.Fatal(err)
-	}
+	tbl := runExp(t, "E4")
 	if tbl.Rows[0][3] != "load/store" {
 		t.Error("smallest transfer should favor load/store")
 	}
@@ -157,10 +215,7 @@ func TestE4Shape(t *testing.T) {
 }
 
 func TestE5Shape(t *testing.T) {
-	tbl, err := E5RemoteAccess()
-	if err != nil {
-		t.Fatal(err)
-	}
+	tbl := runExp(t, "E5")
 	prev := -1.0
 	for i := range tbl.Rows {
 		lat := dur(t, tbl.Rows[i][2])
@@ -176,10 +231,7 @@ func TestE5Shape(t *testing.T) {
 }
 
 func TestE6Shape(t *testing.T) {
-	tbl, err := E6Sharing()
-	if err != nil {
-		t.Fatal(err)
-	}
+	tbl := runExp(t, "E6")
 	// Speedup grows with engine count; 4 engines ≥ 3x.
 	prev := 0.0
 	for i := range tbl.Rows {
@@ -195,10 +247,7 @@ func TestE6Shape(t *testing.T) {
 }
 
 func TestE7Shape(t *testing.T) {
-	tbl, err := E7Pipelining()
-	if err != nil {
-		t.Fatal(err)
-	}
+	tbl := runExp(t, "E7")
 	// Speedup from the virtualization block shrinks as calls grow, and
 	// is meaningful (>1.2x) for the shortest calls.
 	first := cell(t, tbl, tbl.Rows, 0, 3)
@@ -212,10 +261,7 @@ func TestE7Shape(t *testing.T) {
 }
 
 func TestE8Shape(t *testing.T) {
-	tbl, err := E8Compression()
-	if err != nil {
-		t.Fatal(err)
-	}
+	tbl := runExp(t, "E8")
 	for i := range tbl.Rows {
 		density := cell(t, tbl, tbl.Rows, i, 1)
 		plain := cell(t, tbl, tbl.Rows, i, 2)
@@ -232,10 +278,7 @@ func TestE8Shape(t *testing.T) {
 }
 
 func TestE9Shape(t *testing.T) {
-	tbl, err := E9Defrag()
-	if err != nil {
-		t.Fatal(err)
-	}
+	tbl := runExp(t, "E9")
 	noDefrag := cell(t, tbl, tbl.Rows, 0, 1)
 	withDefrag := cell(t, tbl, tbl.Rows, 1, 1)
 	if withDefrag >= noDefrag {
@@ -247,10 +290,7 @@ func TestE9Shape(t *testing.T) {
 }
 
 func TestE10Shape(t *testing.T) {
-	tbl, err := E10Dispatch()
-	if err != nil {
-		t.Fatal(err)
-	}
+	tbl := runExp(t, "E10")
 	sw := dur(t, tbl.Rows[0][1])
 	model := dur(t, tbl.Rows[2][1])
 	oracle := dur(t, tbl.Rows[3][1])
@@ -267,10 +307,7 @@ func TestE10Shape(t *testing.T) {
 }
 
 func TestE11Shape(t *testing.T) {
-	tbl, err := E11LazySched()
-	if err != nil {
-		t.Fatal(err)
-	}
+	tbl := runExp(t, "E11")
 	// Rows come in triples (none, polling, lazy) per worker count.
 	for i := 0; i+2 < len(tbl.Rows); i += 3 {
 		none := dur(t, tbl.Rows[i][2])
@@ -291,10 +328,7 @@ func TestE11Shape(t *testing.T) {
 }
 
 func TestE12Shape(t *testing.T) {
-	tbl, err := E12Chaining()
-	if err != nil {
-		t.Fatal(err)
-	}
+	tbl := runExp(t, "E12")
 	prev := 1.0
 	for i := range tbl.Rows {
 		sp := cell(t, tbl, tbl.Rows, i, 3)
@@ -314,10 +348,7 @@ func TestE12Shape(t *testing.T) {
 }
 
 func TestE13Shape(t *testing.T) {
-	tbl, err := E13Exascale()
-	if err != nil {
-		t.Fatal(err)
-	}
+	tbl := runExp(t, "E13")
 	tianhe := cell(t, tbl, tbl.Rows, 0, 2)
 	if tianhe < 300 || tianhe > 1100 {
 		t.Errorf("Tianhe-2 extrapolation %v MW outside the paper's 'enormous' band", tianhe)
@@ -330,10 +361,7 @@ func TestE13Shape(t *testing.T) {
 }
 
 func TestE14Shape(t *testing.T) {
-	tbl, err := E14EndToEnd()
-	if err != nil {
-		t.Fatal(err)
-	}
+	tbl := runExp(t, "E14")
 	if len(tbl.Rows) != 10 {
 		t.Fatalf("expected 10 kernels, got %d", len(tbl.Rows))
 	}
@@ -345,10 +373,7 @@ func TestE14Shape(t *testing.T) {
 }
 
 func TestE15Shape(t *testing.T) {
-	tbl, err := E15HLSDSE()
-	if err != nil {
-		t.Fatal(err)
-	}
+	tbl := runExp(t, "E15")
 	// Within each kernel's frontier rows, cycles increase as area falls.
 	var prevKernel string
 	var prevCycles, prevArea float64
@@ -369,10 +394,7 @@ func TestE15Shape(t *testing.T) {
 }
 
 func TestA1Shape(t *testing.T) {
-	tbl, err := A1StreamWindow()
-	if err != nil {
-		t.Fatal(err)
-	}
+	tbl := runExp(t, "A1")
 	// Latency non-increasing in window, with real gains up to ~8.
 	prev := 1e18
 	for i := range tbl.Rows {
@@ -388,10 +410,7 @@ func TestA1Shape(t *testing.T) {
 }
 
 func TestA2Shape(t *testing.T) {
-	tbl, err := A2AccelCaching()
-	if err != nil {
-		t.Fatal(err)
-	}
+	tbl := runExp(t, "A2")
 	cachedSpeedup := cell(t, tbl, tbl.Rows, 0, 3)
 	uncachedSpeedup := cell(t, tbl, tbl.Rows, 1, 3)
 	if cachedSpeedup < 5 {
@@ -403,10 +422,7 @@ func TestA2Shape(t *testing.T) {
 }
 
 func TestA3Shape(t *testing.T) {
-	tbl, err := A3TreeShape()
-	if err != nil {
-		t.Fatal(err)
-	}
+	tbl := runExp(t, "A3")
 	// Deeper trees cost more in both metrics (the depth trade-off that
 	// motivates matching tree depth to physical packaging, not making it
 	// arbitrarily deep).
@@ -422,10 +438,7 @@ func TestA3Shape(t *testing.T) {
 }
 
 func TestA4Shape(t *testing.T) {
-	tbl, err := A4PageSize()
-	if err != nil {
-		t.Fatal(err)
-	}
+	tbl := runExp(t, "A4")
 	for i := 1; i < len(tbl.Rows); i++ {
 		if tbl.Rows[i][1] != tbl.Rows[0][1] {
 			t.Errorf("remote read latency should be page-size independent")
@@ -440,10 +453,7 @@ func TestA4Shape(t *testing.T) {
 }
 
 func TestE16Shape(t *testing.T) {
-	tbl, err := E16Irregular()
-	if err != nil {
-		t.Fatal(err)
-	}
+	tbl := runExp(t, "E16")
 	// Sparse touches favor load/store; dense touches favor DMA; there
 	// is a crossover.
 	if tbl.Rows[0][4] != "load/store" {
@@ -467,10 +477,7 @@ func TestE16Shape(t *testing.T) {
 }
 
 func TestA5Shape(t *testing.T) {
-	tbl, err := A5LinkCapacity()
-	if err != nil {
-		t.Fatal(err)
-	}
+	tbl := runExp(t, "A5")
 	prev := 1e18
 	for i := range tbl.Rows {
 		end := dur(t, tbl.Rows[i][1])

@@ -368,6 +368,18 @@ func (r *Registry) CounterL(name string, labels ...Label) *Counter {
 	return c
 }
 
+// CounterTotal sums the values of every counter series with the given
+// name across all label sets, without creating anything.
+func (r *Registry) CounterTotal(name string) uint64 {
+	var total uint64
+	for _, c := range r.counters {
+		if c.Name == name {
+			total += c.Value
+		}
+	}
+	return total
+}
+
 // Stat returns the named unlabeled stat, creating it on first use.
 func (r *Registry) Stat(name string) *Stat { return r.StatL(name) }
 

@@ -1,12 +1,17 @@
 package ecoscale_test
 
-// Soak test: a larger machine running a mixed workload with the
+// Soak tests: larger machines running a mixed workload with the
 // reconfiguration daemon, work stealing and model-driven dispatch all
 // active at once, checking the cross-module conservation invariants
 // (no task lost or duplicated, energy monotone, per-kernel results
-// still correct).
+// still correct). The configurations run as points of a
+// runner.Scenario, so concurrent full machines double as the standing
+// `go test -race` audit that no package shares mutable state between
+// engines.
 
 import (
+	"context"
+	"fmt"
 	"math"
 	"testing"
 
@@ -14,15 +19,16 @@ import (
 	"ecoscale/internal/accel"
 	"ecoscale/internal/hls"
 	"ecoscale/internal/rts"
+	"ecoscale/internal/runner"
 	"ecoscale/internal/sim"
 )
 
-func TestSoakMixedWorkloadLargeMachine(t *testing.T) {
-	if testing.Short() {
-		t.Skip("soak test")
-	}
+// soakRun drives one 32-worker machine under the given balance strategy
+// through 600 mixed tasks and verifies every conservation invariant.
+// It returns (simulated makespan, hw executions) for determinism checks.
+func soakRun(balance rts.BalanceKind) (sim.Time, uint64, error) {
 	cfg := ecoscale.DefaultConfig(8, 4) // 32 workers
-	cfg.Balance = ecoscale.Lazy
+	cfg.Balance = balance
 	cfg.CompressedBitstreams = true
 	m := ecoscale.New(cfg)
 
@@ -33,16 +39,16 @@ func TestSoakMixedWorkloadLargeMachine(t *testing.T) {
 	for i, name := range kernels {
 		w, err := ecoscale.KernelByName(name)
 		if err != nil {
-			t.Fatal(err)
+			return 0, 0, err
 		}
 		if _, err := m.DeployKernel(w.Source, dirs, i*8); err != nil {
-			t.Fatal(err)
+			return 0, 0, err
 		}
 	}
 	mc, _ := ecoscale.KernelByName("montecarlo")
 	mcImpl, err := hls.Synthesize(mc.Kernel(), dirs)
 	if err != nil {
-		t.Fatal(err)
+		return 0, 0, err
 	}
 	m.Daemon.Register(mcImpl)
 	m.Daemon.Start()
@@ -66,7 +72,7 @@ func TestSoakMixedWorkloadLargeMachine(t *testing.T) {
 		args, bindings := w.Make(n, rng)
 		stats, err := hls.Run(w.Kernel(), args)
 		if err != nil {
-			t.Fatal(err)
+			return 0, 0, err
 		}
 		target := rng.Intn(m.Workers())
 		m.Cluster.Submit(target, &rts.Task{
@@ -83,13 +89,13 @@ func TestSoakMixedWorkloadLargeMachine(t *testing.T) {
 		})
 	}
 	m.Daemon.Stop()
-	m.Run()
+	end := m.Run()
 
 	if completed != total {
-		t.Fatalf("completed %d of %d tasks", completed, total)
+		return 0, 0, fmt.Errorf("completed %d of %d tasks", completed, total)
 	}
 	if len(failures) > 0 {
-		t.Fatalf("%d task failures, first: %v", len(failures), failures[0])
+		return 0, 0, fmt.Errorf("%d task failures, first: %v", len(failures), failures[0])
 	}
 	var cpu, hw uint64
 	for _, s := range m.Scheds {
@@ -97,33 +103,67 @@ func TestSoakMixedWorkloadLargeMachine(t *testing.T) {
 		hw += s.Executed(rts.DeviceHW)
 	}
 	if cpu+hw != total {
-		t.Errorf("executed %d+%d != %d", cpu, hw, total)
+		return 0, 0, fmt.Errorf("executed %d+%d != %d", cpu, hw, total)
 	}
 	if hw == 0 {
-		t.Error("model policy never used hardware in the soak")
+		return 0, 0, fmt.Errorf("model policy never used hardware in the soak")
 	}
 	domTotal, _ := m.Domain.Calls()
 	if domTotal != hw {
-		t.Errorf("domain calls %d != hw executions %d", domTotal, hw)
+		return 0, 0, fmt.Errorf("domain calls %d != hw executions %d", domTotal, hw)
 	}
 	if e := m.Meter.Total(); e <= 0 || math.IsNaN(float64(e)) {
-		t.Errorf("energy total = %v", e)
+		return 0, 0, fmt.Errorf("energy total = %v", e)
 	}
 	if m.Eng.Pending() != 0 {
-		t.Errorf("%d events still pending after drain", m.Eng.Pending())
+		return 0, 0, fmt.Errorf("%d events still pending after drain", m.Eng.Pending())
 	}
+	return end, hw, nil
 }
 
-// TestSoakDeterminism: the identical soak twice must produce identical
-// simulated end times and execution splits — the reproducibility pillar.
+func TestSoakMixedWorkloadLargeMachine(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	// Two full machines under different balance strategies run
+	// concurrently through the runner's pool.
+	s := runner.Scenario{
+		ID: "soak", Table: "soak: 32-worker mixed workload", Columns: []string{"balance", "makespan", "hw"},
+		Points: func() ([]runner.Point, error) {
+			var pts []runner.Point
+			for _, balance := range []rts.BalanceKind{ecoscale.Lazy, ecoscale.Polling} {
+				pts = append(pts, runner.Point{
+					Label: fmt.Sprintf("balance=%v", balance),
+					Run: func(context.Context) (runner.Row, error) {
+						end, hw, err := soakRun(balance)
+						if err != nil {
+							return runner.Row{}, err
+						}
+						return runner.R(fmt.Sprint(balance), fmt.Sprint(end), hw), nil
+					},
+				})
+			}
+			return pts, nil
+		},
+	}
+	tbl, err := runner.Run(context.Background(), s, runner.Options{Parallel: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + tbl.String())
+}
+
+// TestSoakDeterminism: the identical soak twice — the two runs execute
+// concurrently as points of one scenario — must produce identical
+// simulated end times and execution splits, the reproducibility pillar.
 func TestSoakDeterminism(t *testing.T) {
-	run := func() (sim.Time, uint64) {
+	run := func() (sim.Time, uint64, error) {
 		cfg := ecoscale.DefaultConfig(4, 2)
 		m := ecoscale.New(cfg)
 		w, _ := ecoscale.KernelByName("reduce")
 		if _, err := m.DeployKernel(w.Source,
 			ecoscale.Directives{Unroll: 8, MemPorts: 8, Share: 1, Pipeline: true}, 0); err != nil {
-			t.Fatal(err)
+			return 0, 0, err
 		}
 		for _, s := range m.Scheds {
 			s.Policy = rts.PolicyModel{}
@@ -135,7 +175,7 @@ func TestSoakDeterminism(t *testing.T) {
 			args, bindings := w.Make(n, rng)
 			stats, err := hls.Run(w.Kernel(), args)
 			if err != nil {
-				t.Fatal(err)
+				return 0, 0, err
 			}
 			m.Cluster.Submit(rng.Intn(m.Workers()), &rts.Task{
 				Kernel: "reduce", Bindings: bindings,
@@ -148,11 +188,33 @@ func TestSoakDeterminism(t *testing.T) {
 		for _, s := range m.Scheds {
 			hw += s.Executed(rts.DeviceHW)
 		}
-		return end, hw
+		return end, hw, nil
 	}
-	t1, hw1 := run()
-	t2, hw2 := run()
-	if t1 != t2 || hw1 != hw2 {
-		t.Errorf("non-deterministic: (%v,%d) vs (%v,%d)", t1, hw1, t2, hw2)
+	s := runner.Scenario{
+		ID: "soak-det", Table: "soak determinism", Columns: []string{"end", "hw"},
+		Points: func() ([]runner.Point, error) {
+			var pts []runner.Point
+			for i := 0; i < 2; i++ {
+				pts = append(pts, runner.Point{
+					Label: fmt.Sprintf("run%d", i+1),
+					Run: func(context.Context) (runner.Row, error) {
+						end, hw, err := run()
+						if err != nil {
+							return runner.Row{}, err
+						}
+						return runner.R(fmt.Sprint(end), hw), nil
+					},
+				})
+			}
+			return pts, nil
+		},
+	}
+	tbl, err := runner.Run(context.Background(), s, runner.Options{Parallel: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, r2 := tbl.Rows[0], tbl.Rows[1]
+	if r1[0] != r2[0] || r1[1] != r2[1] {
+		t.Errorf("non-deterministic: (%s,%s) vs (%s,%s)", r1[0], r1[1], r2[0], r2[1])
 	}
 }
