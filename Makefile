@@ -2,9 +2,9 @@
 
 GOFILES := $(shell find . -name '*.go' -not -path './.git/*')
 
-.PHONY: check fmt vet build test race bench experiments
+.PHONY: check fmt vet build test race bench bench-json bench-smoke experiments
 
-check: fmt vet build race experiments
+check: fmt vet build race experiments bench-smoke
 
 fmt:
 	@out=$$(gofmt -l $(GOFILES)); \
@@ -24,6 +24,17 @@ race:
 
 bench:
 	go test -bench . -benchtime 1x ./...
+
+# Full kernel-vs-reference benchmark report (events/sec, ns/event,
+# allocs/event, E-suite wall time). Compare runs across commits to catch
+# hot-path regressions.
+bench-json:
+	go run ./cmd/simbench -out BENCH_sim.json
+
+# One-round smoke of the same harness so `make check` notices when a
+# kernel workload breaks or starts allocating (analogous to -benchtime 1x).
+bench-smoke:
+	go run ./cmd/simbench -quick -out /dev/null 2> /dev/null
 
 # Smoke-run ecobench over a fast subset through the parallel runner,
 # exercising the pool, per-point timeouts and multi-ID selection.

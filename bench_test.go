@@ -16,6 +16,7 @@ import (
 	"ecoscale"
 	"ecoscale/internal/experiments"
 	"ecoscale/internal/hls"
+	"ecoscale/internal/rts"
 	"ecoscale/internal/runner"
 	"ecoscale/internal/sim"
 	"ecoscale/internal/trace"
@@ -89,6 +90,52 @@ func BenchmarkSimEngineEvents(b *testing.B) {
 	b.ResetTimer()
 	eng.At(0, tick)
 	eng.RunUntilIdle()
+}
+
+// BenchmarkMachineEndToEnd drives the whole stack in steady state: one
+// persistent 8-worker machine executes a batch of 32 vecadd tasks per
+// iteration through the model-driven scheduler, so ns/op is the host
+// cost of simulating a batch and the events/sec metric is whole-machine
+// kernel throughput (the number the internal/sim rewrite moves).
+func BenchmarkMachineEndToEnd(b *testing.B) {
+	w, err := ecoscale.KernelByName("vecadd")
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := ecoscale.New(ecoscale.DefaultConfig(4, 2))
+	if _, err := m.DeployKernel(w.Source, w.DefaultDir, 0); err != nil {
+		b.Fatal(err)
+	}
+	for _, s := range m.Scheds {
+		s.Policy = ecoscale.PolicyModel
+	}
+	rng := sim.NewRNG(7)
+	args, _ := w.Make(4096, rng)
+	st, err := hls.Run(w.Kernel(), args)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m.Run() // settle deployment/reconfiguration before timing
+	ev0 := m.Eng.EventsRun()
+	done := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 32; j++ {
+			task := &rts.Task{
+				Kernel:   "vecadd",
+				Bindings: map[string]float64{"N": 4096},
+				SWStats:  st,
+			}
+			m.Scheds[j%len(m.Scheds)].Submit(task, func(rts.Device, error) { done++ })
+		}
+		m.Run()
+	}
+	b.StopTimer()
+	if done != b.N*32 {
+		b.Fatalf("completed %d tasks, want %d", done, b.N*32)
+	}
+	b.ReportMetric(float64(m.Eng.EventsRun()-ev0)/b.Elapsed().Seconds(), "events/sec")
 }
 
 func BenchmarkMachineBuild(b *testing.B) {

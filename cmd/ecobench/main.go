@@ -13,6 +13,8 @@
 //	ecobench -parallel 1      # sequential reference run
 //	ecobench -timeout 30s     # per-point timeout
 //	ecobench -progress        # per-point progress + summary on stderr
+//	ecobench -cpuprofile f    # write a CPU profile of the run to f
+//	ecobench -memprofile f    # write a heap profile (after the run) to f
 //	ecobench -csv             # CSV instead of aligned text
 //	ecobench -json            # machine-readable JSON instead of aligned text
 //	ecobench -list            # list experiments
@@ -28,6 +30,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -87,6 +91,12 @@ func selectScenarios(reg []runner.Scenario, spec string) ([]runner.Scenario, err
 }
 
 func main() {
+	// Indirect so deferred profile writers run even when experiments fail;
+	// os.Exit directly in the body would skip them.
+	os.Exit(mainExit())
+}
+
+func mainExit() int {
 	run := flag.String("run", "", "experiment ids: comma-separated, exact or prefix (e.g. E3,E4 or A)")
 	csv := flag.Bool("csv", false, "emit CSV")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON")
@@ -94,18 +104,48 @@ func main() {
 	parallel := flag.Int("parallel", 0, "points run concurrently per experiment (0 = GOMAXPROCS, 1 = sequential)")
 	timeout := flag.Duration("timeout", 0, "per-point timeout (0 = none)")
 	progress := flag.Bool("progress", false, "report per-point progress and a runner summary on stderr")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile (taken after the run) to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatalf("cpuprofile: %v", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("cpuprofile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		// The profile is written after the experiments finish so it shows
+		// what the run left allocated, with allocation sites attributed.
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				log.Fatalf("memprofile: %v", err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				log.Fatalf("memprofile: %v", err)
+			}
+		}()
+	}
 
 	reg := experiments.Registry()
 	if *list {
 		for _, s := range reg {
 			fmt.Printf("%-4s %-45s (%s)\n", s.ID, s.Title, s.Source)
 		}
-		return
+		return 0
 	}
 	sel, err := selectScenarios(reg, *run)
 	if err != nil {
-		log.Fatal(err)
+		log.Print(err)
+		return 1
 	}
 
 	metrics := trace.NewRegistry()
@@ -152,7 +192,8 @@ func main() {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(results); err != nil {
-			log.Fatal(err)
+			log.Print(err)
+			return 1
 		}
 	}
 	if *progress {
@@ -164,6 +205,7 @@ func main() {
 	if len(failures) > 0 {
 		fmt.Fprintf(os.Stderr, "%d of %d experiments failed: %s\n",
 			len(failures), len(sel), strings.Join(failures, ", "))
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

@@ -95,6 +95,7 @@ type Manager struct {
 	eng       *sim.Engine
 	instances map[string]*Instance
 	nextSID   int
+	execFree  *execOp
 }
 
 // NewManager creates a Worker-local accelerator manager.
@@ -306,6 +307,34 @@ func (m *Manager) translate(streamID int, spec CallSpec, done func(error)) {
 	step(0)
 }
 
+// execOp is a pooled in-flight hardware call: the stream-in → pipeline →
+// drain → stream-out chain runs through static callbacks on this struct
+// instead of the four nested closures it used to box per invocation.
+type execOp struct {
+	in     *Instance
+	spec   CallSpec
+	finish func(error)
+	hold   sim.Time
+	tail   sim.Time
+	cstart sim.Time
+	err    error
+	next   *execOp
+}
+
+func (m *Manager) getExecOp() *execOp {
+	if op := m.execFree; op != nil {
+		m.execFree = op.next
+		op.next = nil
+		return op
+	}
+	return &execOp{}
+}
+
+func (m *Manager) putExecOp(op *execOp) {
+	*op = execOp{next: m.execFree} // clear spec references before pooling
+	m.execFree = op
+}
+
 // execute streams inputs, computes, streams outputs.
 func (in *Instance) execute(spec CallSpec, finish func(error)) {
 	m := in.mgr
@@ -314,50 +343,68 @@ func (in *Instance) execute(spec CallSpec, finish func(error)) {
 		finish(err)
 		return
 	}
-	compute := func() {
-		m.Flow.Add(int64(m.eng.Now()), "hardware", "%s@w%d: arguments streamed in, entering pipeline (II=%d)",
-			in.Placement.Module.Name, in.Worker, in.Impl.II())
-		cstart := m.eng.Now()
-		hold := occ
-		tail := drain
-		if !m.Virtualize {
-			// No virtualization block: the instance is held for the
-			// whole call latency.
-			hold = occ + drain
-			tail = 0
-		}
-		in.pipe.Use(hold, func() {
-			m.eng.After(tail, func() {
-				m.Flow.Add(int64(m.eng.Now()), "hardware", "%s@w%d: pipeline drained, streaming results",
-					in.Placement.Module.Name, in.Worker)
-				m.Trace.Add(trace.Span{Name: in.Placement.Module.Name, Cat: trace.CatCompute,
-					Start: int64(cstart), End: int64(m.eng.Now()),
-					PID: trace.WorkerPID(in.Worker), TID: trace.TIDFabric, Detail: "hw"})
-				if m.Reg != nil {
-					trace.LatencyHistogram(m.Reg, "lat.compute_hw_us").
-						Observe((m.eng.Now() - cstart).Micros())
-				}
-				m.chargeEnergy(spec)
-				// Apply the data plane, then stream the results out
-				// (an identity write-back of the now-final bytes).
-				var execErr error
-				if spec.Exec != nil {
-					execErr = spec.Exec()
-				}
-				wg := sim.NewWaitGroup(m.eng, len(spec.Writes))
-				for _, w := range spec.Writes {
-					m.Space.StreamWrite(in.Worker, w.Addr, m.Space.PeekRange(w.Addr, w.Size), m.StreamWindow, wg.DoneOne)
-				}
-				wg.Wait(func() { finish(execErr) })
-			})
-		})
+	op := m.getExecOp()
+	op.in, op.spec, op.finish = in, spec, finish
+	op.hold, op.tail = occ, drain
+	if !m.Virtualize {
+		// No virtualization block: the instance is held for the whole
+		// call latency.
+		op.hold, op.tail = occ+drain, 0
 	}
 	// Stream all inputs, then compute.
 	wg := sim.NewWaitGroup(m.eng, len(spec.Reads))
 	for _, r := range spec.Reads {
 		m.Space.StreamRead(in.Worker, r.Addr, r.Size, m.StreamWindow, func([]byte) { wg.DoneOne() })
 	}
-	wg.Wait(compute)
+	wg.WaitCall(execCompute, op)
+}
+
+// execCompute enters the pipeline once every argument stream has landed.
+func execCompute(a any) {
+	op := a.(*execOp)
+	in, m := op.in, op.in.mgr
+	m.Flow.Add(int64(m.eng.Now()), "hardware", "%s@w%d: arguments streamed in, entering pipeline (II=%d)",
+		in.Placement.Module.Name, in.Worker, in.Impl.II())
+	op.cstart = m.eng.Now()
+	in.pipe.UseCall(op.hold, execDrain, op)
+}
+
+// execDrain models the pipeline tail after the issue slot frees.
+func execDrain(a any) {
+	op := a.(*execOp)
+	op.in.mgr.eng.AfterCall(op.tail, execWriteback, op)
+}
+
+// execWriteback applies the data plane and streams the results out (an
+// identity write-back of the now-final bytes).
+func execWriteback(a any) {
+	op := a.(*execOp)
+	in, m, spec := op.in, op.in.mgr, op.spec
+	m.Flow.Add(int64(m.eng.Now()), "hardware", "%s@w%d: pipeline drained, streaming results",
+		in.Placement.Module.Name, in.Worker)
+	m.Trace.Add(trace.Span{Name: in.Placement.Module.Name, Cat: trace.CatCompute,
+		Start: int64(op.cstart), End: int64(m.eng.Now()),
+		PID: trace.WorkerPID(in.Worker), TID: trace.TIDFabric, Detail: "hw"})
+	if m.Reg != nil {
+		trace.LatencyHistogram(m.Reg, "lat.compute_hw_us").
+			Observe((m.eng.Now() - op.cstart).Micros())
+	}
+	m.chargeEnergy(spec)
+	if spec.Exec != nil {
+		op.err = spec.Exec()
+	}
+	wg := sim.NewWaitGroup(m.eng, len(spec.Writes))
+	for _, w := range spec.Writes {
+		m.Space.StreamWrite(in.Worker, w.Addr, m.Space.PeekRange(w.Addr, w.Size), m.StreamWindow, wg.DoneOne)
+	}
+	wg.WaitCall(execDone, op)
+}
+
+func execDone(a any) {
+	op := a.(*execOp)
+	finish, err := op.finish, op.err
+	op.in.mgr.putExecOp(op)
+	finish(err)
 }
 
 func (m *Manager) chargeEnergy(spec CallSpec) {

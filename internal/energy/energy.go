@@ -89,6 +89,7 @@ func DefaultCostModel() CostModel {
 type Meter struct {
 	Model  CostModel
 	byCat  map[string]Joules
+	total  Joules
 	static []staticLoad
 	eng    *sim.Engine
 }
@@ -112,6 +113,7 @@ func (m *Meter) Charge(category string, e Joules) {
 		panic("energy: negative charge to " + category)
 	}
 	m.byCat[category] += e
+	m.total += e
 }
 
 // AddStatic registers a constant power draw under the category, integrated
@@ -128,7 +130,9 @@ func (m *Meter) Settle() {
 	for i := range m.static {
 		s := &m.static[i]
 		dt := (now - s.since).Seconds()
-		m.byCat[s.cat] += Joules(float64(s.power) * dt)
+		add := Joules(float64(s.power) * dt)
+		m.byCat[s.cat] += add
+		m.total += add
 		s.since = now
 	}
 }
@@ -137,13 +141,11 @@ func (m *Meter) Settle() {
 func (m *Meter) Category(category string) Joules { return m.byCat[category] }
 
 // Total returns the sum over all categories.
-func (m *Meter) Total() Joules {
-	var t Joules
-	for _, e := range m.byCat {
-		t += e
-	}
-	return t
-}
+// Total is maintained incrementally rather than summed from the category
+// map on demand: map iteration order is randomized and float addition is
+// not associative, so an on-demand sum could differ by an ulp between two
+// calls at the same state (and was not monotone under a strict compare).
+func (m *Meter) Total() Joules { return m.total }
 
 // Categories returns all category names, sorted.
 func (m *Meter) Categories() []string {

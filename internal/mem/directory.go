@@ -32,19 +32,33 @@ type Directory struct {
 	// CtrlBytes is the size of a protocol control message (request,
 	// invalidation, ack); data messages carry a full line.
 	CtrlBytes int
+
+	// Cached coh.* counters: resolving a counter concatenates its name,
+	// which on the per-message count path is an allocation per protocol
+	// hop; each series is resolved once here instead.
+	ctrs map[string]*trace.Counter
+
+	readFree *cohReadOp
 }
 
 // NewDirectory creates a directory over the network. home maps a line
 // address to its home node; the registry (optional) receives message
 // counters under "coh.*".
 func NewDirectory(net *noc.Network, home func(addr uint64) int, reg *trace.Registry) *Directory {
-	return &Directory{
+	d := &Directory{
 		net:       net,
 		home:      home,
 		reg:       reg,
 		lines:     map[uint64]*lineState{},
 		CtrlBytes: 16,
 	}
+	if reg != nil {
+		d.ctrs = map[string]*trace.Counter{}
+		for _, name := range []string{"reads", "writes", "msgs", "local_hits", "invalidations"} {
+			d.ctrs[name] = reg.Counter("coh." + name)
+		}
+	}
+	return d
 }
 
 func (d *Directory) state(line uint64) *lineState {
@@ -58,7 +72,7 @@ func (d *Directory) state(line uint64) *lineState {
 
 func (d *Directory) count(name string, n uint64) {
 	if d.reg != nil {
-		d.reg.Counter("coh." + name).Add(n)
+		d.ctrs[name].Add(n)
 	}
 }
 
@@ -74,6 +88,19 @@ func sortedNodes(m map[int]bool) []int {
 		}
 	}
 	return out
+}
+
+// cohReadOp is a pooled coherent-read transaction walking the MSI read
+// protocol (request → optional owner writeback → data) through static
+// callbacks; E3 issues millions of these.
+type cohReadOp struct {
+	d     *Directory
+	s     *lineState
+	node  int
+	h     int
+	owner int
+	done  func()
+	next  *cohReadOp
 }
 
 // Read performs a coherent read of the line containing addr by node,
@@ -93,29 +120,55 @@ func (d *Directory) Read(node int, addr uint64, done func()) {
 		return
 	}
 
+	op := d.readFree
+	if op != nil {
+		d.readFree = op.next
+	} else {
+		op = &cohReadOp{}
+	}
+	*op = cohReadOp{d: d, s: s, node: node, h: h, done: done}
+
 	// Request to home.
 	d.count("msgs", 1)
-	d.net.Send(node, h, d.CtrlBytes, noc.Load, func() {
-		if s.owner >= 0 && s.owner != node {
-			// Dirty remote: home fetches from owner (writeback), owner
-			// demotes to sharer, then data goes to requester.
-			owner := s.owner
-			d.count("msgs", 2) // fetch + writeback data
-			d.net.Send(h, owner, d.CtrlBytes, noc.Sync, func() {
-				d.net.Send(owner, h, LineBytes, noc.Store, func() {
-					s.owner = -1
-					s.sharers[owner] = true
-					s.sharers[node] = true
-					d.count("msgs", 1)
-					d.net.Send(h, node, LineBytes, noc.Load, done)
-				})
-			})
-			return
-		}
-		s.sharers[node] = true
-		d.count("msgs", 1)
-		d.net.Send(h, node, LineBytes, noc.Load, done)
-	})
+	d.net.SendCall(node, h, d.CtrlBytes, noc.Load, cohReadAtHome, op)
+}
+
+func cohReadAtHome(a any) {
+	op := a.(*cohReadOp)
+	d, s := op.d, op.s
+	if s.owner >= 0 && s.owner != op.node {
+		// Dirty remote: home fetches from owner (writeback), owner
+		// demotes to sharer, then data goes to requester.
+		op.owner = s.owner
+		d.count("msgs", 2) // fetch + writeback data
+		d.net.SendCall(op.h, op.owner, d.CtrlBytes, noc.Sync, cohReadFetch, op)
+		return
+	}
+	s.sharers[op.node] = true
+	cohReadData(a)
+}
+
+func cohReadFetch(a any) {
+	op := a.(*cohReadOp)
+	op.d.net.SendCall(op.owner, op.h, LineBytes, noc.Store, cohReadWriteback, op)
+}
+
+func cohReadWriteback(a any) {
+	op := a.(*cohReadOp)
+	op.s.owner = -1
+	op.s.sharers[op.owner] = true
+	op.s.sharers[op.node] = true
+	cohReadData(a)
+}
+
+// cohReadData sends the line home→requester and retires the transaction.
+func cohReadData(a any) {
+	op := a.(*cohReadOp)
+	d, h, node, done := op.d, op.h, op.node, op.done
+	*op = cohReadOp{next: d.readFree}
+	d.readFree = op
+	d.count("msgs", 1)
+	d.net.Send(h, node, LineBytes, noc.Load, done)
 }
 
 // Write performs a coherent write (read-for-ownership) of the line

@@ -6,6 +6,12 @@
 // commands, DMA operations, interrupts, and synchronization between the
 // Workers" (§4.1) — with per-level bandwidth, per-hop latency, and link
 // contention, and charges flit-hop energy to a Meter.
+//
+// Message transfers are the single hottest event producer in the
+// simulator, so the per-message control state (the hop walk of Send, the
+// chunk loop of DMATransfer, the line window of LoadStoreTransfer) lives
+// in per-network pooled operation structs driven by static callbacks
+// rather than fresh closures: steady-state traffic allocates nothing.
 package noc
 
 import (
@@ -27,6 +33,7 @@ const (
 	DMA
 	Interrupt
 	Sync
+	numKinds
 )
 
 func (k Kind) String() string {
@@ -107,6 +114,19 @@ type Network struct {
 
 	// links[level][group][dir] with dir 0=up, 1=down.
 	links map[linkKey]*sim.Resource
+
+	// Cached registry series: counter lookup concatenates strings, so the
+	// hot count() path resolves each series once up front.
+	ctrMsgs  [numKinds]*trace.Counter
+	ctrBytes *trace.Counter
+	ctrHops  *trace.Counter
+	statHops *trace.Stat
+
+	// Operation pools (free lists).
+	sendFree *sendOp
+	rtFree   *rtOp
+	dmaFree  *dmaOp
+	lsFree   *lsOp
 }
 
 type linkKey struct {
@@ -130,6 +150,14 @@ func NewNetwork(eng *sim.Engine, t topo.Topology, cfg Config, meter *energy.Mete
 	if tree, ok := t.(*topo.Tree); ok {
 		n.tree = tree
 	}
+	if reg != nil {
+		for k := Kind(0); k < numKinds; k++ {
+			n.ctrMsgs[k] = reg.Counter("noc.msgs." + k.String())
+		}
+		n.ctrBytes = reg.Counter("noc.bytes")
+		n.ctrHops = reg.Counter("noc.hops")
+		n.statHops = reg.Stat("noc.hopdist")
+	}
 	return n
 }
 
@@ -149,25 +177,22 @@ func (n *Network) link(level, group, dir int) *sim.Resource {
 	return r
 }
 
-// pathLinks returns the ordered links a src→dst message traverses, with
-// the level of each link (for serialization bandwidth).
-func (n *Network) pathLinks(src, dst int) []linkLevel {
-	if src == dst {
-		return nil
-	}
-	if n.tree == nil {
-		// Uniform model: HopDistance anonymous links, contention-free.
+// pathLinksInto appends the ordered links a src→dst message traverses to
+// buf, with the level of each link (for serialization bandwidth). It
+// returns nil for self-sends and non-tree topologies (uniform model:
+// HopDistance anonymous links, contention-free).
+func (n *Network) pathLinksInto(buf []linkLevel, src, dst int) []linkLevel {
+	if src == dst || n.tree == nil {
 		return nil
 	}
 	lca := n.tree.LCALevel(src, dst)
-	var path []linkLevel
 	for l := 0; l < lca; l++ {
-		path = append(path, linkLevel{link: n.link(l, n.tree.GroupOf(l, src), 0), level: l})
+		buf = append(buf, linkLevel{link: n.link(l, n.tree.GroupOf(l, src), 0), level: l})
 	}
 	for l := lca - 1; l >= 0; l-- {
-		path = append(path, linkLevel{link: n.link(l, n.tree.GroupOf(l, dst), 1), level: l})
+		buf = append(buf, linkLevel{link: n.link(l, n.tree.GroupOf(l, dst), 1), level: l})
 	}
-	return path
+	return buf
 }
 
 type linkLevel struct {
@@ -209,60 +234,135 @@ func (n *Network) Latency(src, dst, size int) sim.Time {
 	return total
 }
 
+// sendOp is a pooled in-flight message: the hop index walks path as each
+// link grant expires. done or (dfn, darg) is the delivery notification.
+type sendOp struct {
+	n    *Network
+	path []linkLevel
+	i    int
+	size int
+	done func()
+	dfn  func(any)
+	darg any
+	next *sendOp
+}
+
+func (n *Network) getSendOp() *sendOp {
+	if op := n.sendFree; op != nil {
+		n.sendFree = op.next
+		op.next = nil
+		return op
+	}
+	return &sendOp{}
+}
+
+func (n *Network) putSendOp(op *sendOp) {
+	path := op.path[:0] // keep the backing array for the next message
+	*op = sendOp{path: path, next: n.sendFree}
+	n.sendFree = op
+}
+
+// sendStep issues the message on its next link, or delivers it when the
+// path is exhausted.
+func sendStep(a any) {
+	op := a.(*sendOp)
+	if op.i == len(op.path) {
+		sendDeliver(a)
+		return
+	}
+	pl := op.path[op.i]
+	op.i++
+	hold := op.n.cfg.Levels[pl.level].HopLatency + op.n.serialization(pl.level, op.size)
+	pl.link.UseCall(hold, sendStep, op)
+}
+
+func sendDeliver(a any) {
+	op := a.(*sendOp)
+	done, dfn, darg := op.done, op.dfn, op.darg
+	op.n.putSendOp(op)
+	if dfn != nil {
+		dfn(darg)
+	} else if done != nil {
+		done()
+	}
+}
+
 // Send delivers a one-way message of size bytes from src to dst, calling
 // done at delivery time. Contention on shared links delays delivery. A
 // self-send completes immediately in the current event.
 func (n *Network) Send(src, dst, size int, kind Kind, done func()) {
+	n.send(src, dst, size, kind, done, nil, nil)
+}
+
+// SendCall is Send with a static-function completion: fn(arg) runs at
+// delivery time without boxing a closure at the call site.
+func (n *Network) SendCall(src, dst, size int, kind Kind, fn func(any), arg any) {
+	n.send(src, dst, size, kind, nil, fn, arg)
+}
+
+func (n *Network) send(src, dst, size int, kind Kind, done func(), dfn func(any), darg any) {
 	n.count(kind, src, dst, size)
 	if src == dst {
-		if done != nil {
+		if dfn != nil {
+			dfn(darg)
+		} else if done != nil {
 			done()
 		}
 		return
 	}
-	path := n.pathLinks(src, dst)
-	if path == nil {
+	op := n.getSendOp()
+	op.n, op.size, op.done, op.dfn, op.darg = n, size, done, dfn, darg
+	op.i = 0
+	if n.tree == nil {
 		// Non-tree topology: analytic latency, no contention modelling.
-		n.eng.After(n.Latency(src, dst, size), func() {
-			if done != nil {
-				done()
-			}
-		})
+		n.eng.AfterCall(n.Latency(src, dst, size), sendDeliver, op)
 		return
 	}
-	var step func(i int)
-	step = func(i int) {
-		if i == len(path) {
-			if done != nil {
-				done()
-			}
-			return
-		}
-		pl := path[i]
-		hold := n.cfg.Levels[pl.level].HopLatency + n.serialization(pl.level, size)
-		pl.link.Use(hold, func() { step(i + 1) })
-	}
-	step(0)
+	op.path = n.pathLinksInto(op.path[:0], src, dst)
+	sendStep(op)
+}
+
+// rtOp is a pooled request/response exchange.
+type rtOp struct {
+	n        *Network
+	src, dst int
+	respSize int
+	kind     Kind
+	done     func()
+	next     *rtOp
+}
+
+func rtRespond(a any) {
+	op := a.(*rtOp)
+	n, src, dst, respSize, kind, done := op.n, op.src, op.dst, op.respSize, op.kind, op.done
+	*op = rtOp{next: n.rtFree}
+	n.rtFree = op
+	n.Send(dst, src, respSize, kind, done)
 }
 
 // RoundTrip models a request/response pair (e.g. a remote load): a
 // reqSize-byte request from src to dst followed by a respSize-byte
 // response back, calling done when the response arrives.
 func (n *Network) RoundTrip(src, dst, reqSize, respSize int, kind Kind, done func()) {
-	n.Send(src, dst, reqSize, kind, func() {
-		n.Send(dst, src, respSize, kind, done)
-	})
+	op := n.rtFree
+	if op != nil {
+		n.rtFree = op.next
+	} else {
+		op = &rtOp{}
+	}
+	*op = rtOp{n: n, src: src, dst: dst, respSize: respSize, kind: kind, done: done}
+	n.SendCall(src, dst, reqSize, kind, rtRespond, op)
 }
 
 func (n *Network) count(kind Kind, src, dst, size int) {
 	if n.reg != nil {
-		n.reg.Counter("noc.msgs." + kind.String()).Inc()
-		n.reg.Counter("noc.bytes").Add(uint64(size))
+		n.ctrMsgs[kind].Inc()
+		n.ctrBytes.Add(uint64(size))
 	}
 	hops := n.topo.HopDistance(src, dst)
 	if n.reg != nil && hops > 0 {
-		n.reg.Counter("noc.hops").Add(uint64(hops))
-		n.reg.Stat("noc.hopdist").Observe(float64(hops))
+		n.ctrHops.Add(uint64(hops))
+		n.statHops.Observe(float64(hops))
 	}
 	if n.meter == nil || hops == 0 {
 		return
@@ -311,33 +411,97 @@ func DefaultDMAConfig() DMAConfig {
 	}
 }
 
+// dmaOp is a pooled in-flight DMA transfer.
+type dmaOp struct {
+	n         *Network
+	src, dst  int
+	remaining int
+	cfg       DMAConfig
+	done      func()
+	next      *dmaOp
+}
+
+func dmaSendNext(a any) {
+	op := a.(*dmaOp)
+	if op.remaining <= 0 {
+		op.n.eng.AfterCall(op.cfg.Completion, dmaComplete, op)
+		return
+	}
+	chunk := op.remaining
+	if chunk > op.cfg.ChunkBytes {
+		chunk = op.cfg.ChunkBytes
+	}
+	op.remaining -= chunk
+	op.n.SendCall(op.src, op.dst, chunk, DMA, dmaSendNext, op)
+}
+
+func dmaComplete(a any) {
+	op := a.(*dmaOp)
+	n, done := op.n, op.done
+	*op = dmaOp{next: n.dmaFree}
+	n.dmaFree = op
+	if done != nil {
+		done()
+	}
+}
+
 // DMATransfer moves size bytes from src to dst through the DMA engine:
 // fixed setup, chunked pipelined bursts, fixed completion.
 func (n *Network) DMATransfer(src, dst, size int, cfg DMAConfig, done func()) {
 	if cfg.ChunkBytes <= 0 {
 		cfg.ChunkBytes = 4096
 	}
-	n.eng.After(cfg.Setup, func() {
-		remaining := size
-		var sendNext func()
-		sendNext = func() {
-			if remaining <= 0 {
-				n.eng.After(cfg.Completion, func() {
-					if done != nil {
-						done()
-					}
-				})
-				return
-			}
-			chunk := remaining
-			if chunk > cfg.ChunkBytes {
-				chunk = cfg.ChunkBytes
-			}
-			remaining -= chunk
-			n.Send(src, dst, chunk, DMA, sendNext)
-		}
-		sendNext()
-	})
+	op := n.dmaFree
+	if op != nil {
+		n.dmaFree = op.next
+	} else {
+		op = &dmaOp{}
+	}
+	*op = dmaOp{n: n, src: src, dst: dst, remaining: size, cfg: cfg, done: done}
+	n.eng.AfterCall(cfg.Setup, dmaSendNext, op)
+}
+
+// lsOp is a pooled load/store stream: lines issue in order as the window
+// resource grants, and the transfer completes when every line has landed.
+type lsOp struct {
+	n        *Network
+	src, dst int
+	size     int
+	lines    int
+	issued   int
+	landed   int
+	window   *sim.Resource
+	winCap   int
+	done     func()
+	next     *lsOp
+}
+
+func lsIssue(a any) {
+	op := a.(*lsOp)
+	const line = 64
+	i := op.issued
+	op.issued++
+	sz := line
+	if i == op.lines-1 && op.size%line != 0 && op.size > 0 {
+		sz = op.size % line
+	}
+	op.n.SendCall(op.src, op.dst, sz, Store, lsLanded, op)
+}
+
+func lsLanded(a any) {
+	op := a.(*lsOp)
+	op.window.Release()
+	op.landed++
+	if op.landed < op.lines {
+		return
+	}
+	n, done := op.n, op.done
+	window, winCap := op.window, op.winCap
+	*op = lsOp{window: window, winCap: winCap, next: n.lsFree}
+	n.lsFree = op
+	if done != nil {
+		done()
+	}
 }
 
 // LoadStoreTransfer moves size bytes using pipelined cache-line-sized
@@ -353,23 +517,20 @@ func (n *Network) LoadStoreTransfer(src, dst, size, window int, done func()) {
 	if lines == 0 {
 		lines = 1
 	}
-	wg := sim.NewWaitGroup(n.eng, lines)
-	inFlight := sim.NewResource(n.eng, "ls-window", window)
-	for i := 0; i < lines; i++ {
-		sz := line
-		if i == lines-1 && size%line != 0 && size > 0 {
-			sz = size % line
-		}
-		inFlight.Acquire(func() {
-			n.Send(src, dst, sz, Store, func() {
-				inFlight.Release()
-				wg.DoneOne()
-			})
-		})
+	op := n.lsFree
+	if op != nil {
+		n.lsFree = op.next
+		op.next = nil
+	} else {
+		op = &lsOp{}
 	}
-	wg.Wait(func() {
-		if done != nil {
-			done()
-		}
-	})
+	if op.window == nil || op.winCap != window {
+		op.window = sim.NewResource(n.eng, "ls-window", window)
+		op.winCap = window
+	}
+	op.n, op.src, op.dst, op.size, op.lines, op.done = n, src, dst, size, lines, done
+	op.issued, op.landed = 0, 0
+	for i := 0; i < lines; i++ {
+		op.window.AcquireCall(lsIssue, op)
+	}
 }

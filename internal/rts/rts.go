@@ -340,6 +340,7 @@ type Scheduler struct {
 	nextID     uint64
 	idleCb     func() // hook for the work-stealing layer
 	wlabel     string // cached strconv of Worker for metric labels
+	opFree     *taskOp
 }
 
 // NewScheduler creates a Worker's scheduler.
@@ -409,6 +410,33 @@ func (s *Scheduler) pump() {
 	}
 }
 
+// taskOp is a pooled in-flight task execution: it carries the dispatch
+// state the old per-task completion closures used to capture, so the CPU
+// compute→finish path schedules through static callbacks with no per-task
+// heap allocation. Ops are recycled through a per-scheduler free list.
+type taskOp struct {
+	s     *Scheduler
+	t     *Task
+	done  func(Device, error)
+	dev   Device
+	start sim.Time
+	next  *taskOp
+}
+
+func (s *Scheduler) getTaskOp() *taskOp {
+	if op := s.opFree; op != nil {
+		s.opFree = op.next
+		op.next = nil
+		return op
+	}
+	return &taskOp{}
+}
+
+func (s *Scheduler) putTaskOp(op *taskOp) {
+	*op = taskOp{next: s.opFree}
+	s.opFree = op
+}
+
 func (s *Scheduler) start(q queued, dev Device) {
 	t := q.task
 	wait := s.eng.Now() - t.submitted
@@ -426,66 +454,84 @@ func (s *Scheduler) start(q queued, dev Device) {
 	if s.Reg != nil {
 		trace.LatencyHistogram(s.Reg, "lat.queue_us").Observe(wait.Micros())
 	}
-	finish := func(err error) {
-		if dev == DeviceHW {
-			s.hwRunning--
-		} else {
-			s.cpuRunning--
-		}
-		s.executed[dev]++
-		now := s.eng.Now()
-		s.History.Add(Record{
-			Kernel: t.Kernel, Device: dev,
-			Features: t.Features(), Duration: now - start,
-			Energy: s.taskEnergy(dev, t),
-		})
-		s.Flow.Add(int64(now), "runtime", "worker %d: %s completed on %s (recorded to history)",
-			s.Worker, t.Kernel, dev)
-		s.Trace.Add(trace.Span{Name: t.Kernel, Cat: trace.CatTask,
-			Start: int64(t.submitted), End: int64(now),
-			PID: pid, TID: trace.TIDCPU, Task: t.ID, Detail: dev.String()})
-		if s.Reg != nil {
-			s.Reg.CounterL("rts.tasks",
-				trace.L("worker", s.wlabel), trace.L("device", dev.String()),
-				trace.L("kernel", t.Kernel), trace.L("policy", s.Policy.Name())).Inc()
-			trace.LatencyHistogram(s.Reg, "lat.task_us").Observe((now - t.submitted).Micros())
-		}
-		if q.done != nil {
-			q.done(dev, err)
-		}
-		s.pump()
-		if s.Outstanding() == 0 && s.idleCb != nil {
-			s.idleCb()
-		}
-	}
+	op := s.getTaskOp()
+	op.s, op.t, op.done, op.dev, op.start = s, t, q.done, dev, start
 	if dev == DeviceHW {
 		s.hwRunning++
 		s.Domain.Call(s.Worker, t.Kernel, accel.CallSpec{
 			Bindings: t.Bindings, Reads: t.Reads, Writes: t.Writes,
 			Exec: t.Exec, Ops: t.SWStats.Ops,
-		}, finish)
+		}, op.finishHW)
 		return
 	}
 	// CPU path: hold a core for the modelled time, then apply data.
 	s.cpuRunning++
-	s.eng.After(s.CPUModel.Time(t.SWStats), func() {
-		if s.Meter != nil {
-			s.Meter.Charge("cpu", energy.Joules(t.SWStats.Ops)*s.Meter.Model.CPUOp+
-				energy.Joules(t.SWStats.Loads+t.SWStats.Stores)*s.Meter.Model.CacheAccess)
-		}
-		now := s.eng.Now()
-		s.Trace.Add(trace.Span{Name: t.Kernel, Cat: trace.CatCompute,
-			Start: int64(start), End: int64(now),
-			PID: pid, TID: trace.TIDCPU, Task: t.ID, Detail: "cpu"})
-		if s.Reg != nil {
-			trace.LatencyHistogram(s.Reg, "lat.compute_cpu_us").Observe((now - start).Micros())
-		}
-		var err error
-		if t.Exec != nil {
-			err = t.Exec()
-		}
-		finish(err)
+	s.eng.AfterCall(s.CPUModel.Time(t.SWStats), taskCPUDone, op)
+}
+
+// finishHW adapts taskFinish to the accelerator middleware's completion
+// signature. The method value costs one small allocation per hardware
+// call — noise next to the call's streaming machinery — where the old
+// code boxed the full dispatch context.
+func (op *taskOp) finishHW(err error) { taskFinish(op, err) }
+
+// taskCPUDone is the CPU compute-completion event.
+func taskCPUDone(a any) {
+	op := a.(*taskOp)
+	s, t := op.s, op.t
+	if s.Meter != nil {
+		s.Meter.Charge("cpu", energy.Joules(t.SWStats.Ops)*s.Meter.Model.CPUOp+
+			energy.Joules(t.SWStats.Loads+t.SWStats.Stores)*s.Meter.Model.CacheAccess)
+	}
+	now := s.eng.Now()
+	s.Trace.Add(trace.Span{Name: t.Kernel, Cat: trace.CatCompute,
+		Start: int64(op.start), End: int64(now),
+		PID: trace.WorkerPID(s.Worker), TID: trace.TIDCPU, Task: t.ID, Detail: "cpu"})
+	if s.Reg != nil {
+		trace.LatencyHistogram(s.Reg, "lat.compute_cpu_us").Observe((now - op.start).Micros())
+	}
+	var err error
+	if t.Exec != nil {
+		err = t.Exec()
+	}
+	taskFinish(op, err)
+}
+
+// taskFinish retires a task on either device: accounting, history,
+// tracing, the caller's completion, and a pump for the freed slot.
+func taskFinish(op *taskOp, err error) {
+	s, t, dev, start, done := op.s, op.t, op.dev, op.start, op.done
+	s.putTaskOp(op) // recycle first: done/pump may start new tasks
+	if dev == DeviceHW {
+		s.hwRunning--
+	} else {
+		s.cpuRunning--
+	}
+	s.executed[dev]++
+	now := s.eng.Now()
+	s.History.Add(Record{
+		Kernel: t.Kernel, Device: dev,
+		Features: t.Features(), Duration: now - start,
+		Energy: s.taskEnergy(dev, t),
 	})
+	s.Flow.Add(int64(now), "runtime", "worker %d: %s completed on %s (recorded to history)",
+		s.Worker, t.Kernel, dev)
+	s.Trace.Add(trace.Span{Name: t.Kernel, Cat: trace.CatTask,
+		Start: int64(t.submitted), End: int64(now),
+		PID: trace.WorkerPID(s.Worker), TID: trace.TIDCPU, Task: t.ID, Detail: dev.String()})
+	if s.Reg != nil {
+		s.Reg.CounterL("rts.tasks",
+			trace.L("worker", s.wlabel), trace.L("device", dev.String()),
+			trace.L("kernel", t.Kernel), trace.L("policy", s.Policy.Name())).Inc()
+		trace.LatencyHistogram(s.Reg, "lat.task_us").Observe((now - t.submitted).Micros())
+	}
+	if done != nil {
+		done(dev, err)
+	}
+	s.pump()
+	if s.Outstanding() == 0 && s.idleCb != nil {
+		s.idleCb()
+	}
 }
 
 // fmtBindings renders scalar bindings compactly and deterministically.

@@ -1,0 +1,196 @@
+package sim_test
+
+// Kernel micro-benchmarks. The BenchmarkEngine*/BenchmarkResource* group
+// measures the production kernel and must report 0 allocs/op on the
+// steady-state schedule→fire paths; the BenchmarkHeapRef* group measures
+// the frozen container/heap reference kernel so the two can be compared on
+// the same host:
+//
+//	go test -run X -bench 'Engine|Resource' -benchmem ./internal/sim
+//	go test -run X -bench 'HeapRef'         -benchmem ./internal/sim
+//
+// cmd/simbench runs the same workload shapes and writes the comparison to
+// BENCH_sim.json (see docs/perf.md).
+
+import (
+	"testing"
+
+	"ecoscale/internal/sim"
+	"ecoscale/internal/sim/heapref"
+)
+
+// tickState drives a self-rescheduling event chain through the zero-alloc
+// AtCall/AfterCall path: one static function, one pooled argument.
+type tickState struct {
+	e     *sim.Engine
+	n     int
+	limit int
+	delay sim.Time
+}
+
+func tickFn(a any) {
+	s := a.(*tickState)
+	s.n++
+	if s.n < s.limit {
+		s.e.AfterCall(s.delay, tickFn, s)
+	}
+}
+
+// BenchmarkEngineScheduleFire is the canonical steady-state hot path: one
+// schedule and one fire per op with a near-empty queue. Must be 0 allocs/op.
+func BenchmarkEngineScheduleFire(b *testing.B) {
+	e := sim.NewEngine(1)
+	s := &tickState{e: e, limit: b.N, delay: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	e.AfterCall(1, tickFn, s)
+	e.RunUntilIdle()
+}
+
+// BenchmarkEngineScheduleFireClosure is the same chain through the
+// closure-based After; the closure is created once, so this isolates the
+// dispatch cost rather than per-event boxing.
+func BenchmarkEngineScheduleFireClosure(b *testing.B) {
+	e := sim.NewEngine(1)
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < b.N {
+			e.After(1, tick)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	e.After(1, tick)
+	e.RunUntilIdle()
+}
+
+// BenchmarkEngineDeepQueue keeps ~1024 events in flight with staggered
+// delays, exercising 4-ary sift depth on a realistically loaded heap.
+func BenchmarkEngineDeepQueue(b *testing.B) {
+	e := sim.NewEngine(1)
+	s := &tickState{e: e, limit: b.N, delay: 0}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < 1024; i++ {
+		e.AfterCall(sim.Time(1+i&63), deepTickFn, s)
+	}
+	e.RunUntilIdle()
+}
+
+func deepTickFn(a any) {
+	s := a.(*tickState)
+	s.n++
+	if s.n < s.limit {
+		s.e.AfterCall(sim.Time(1+s.n&63), deepTickFn, s)
+	}
+}
+
+// BenchmarkEngineCancel measures the O(1) lazy-cancel path: per op, two
+// schedules, one cancel, and one fire (which also prunes the stale entry).
+func BenchmarkEngineCancel(b *testing.B) {
+	e := sim.NewEngine(1)
+	fn := func(any) {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.AtCall(e.Now()+1, fn, nil)
+		dead := e.AtCall(e.Now()+2, fn, nil)
+		e.Cancel(dead)
+		e.Step()
+	}
+}
+
+// useState drives a self-sustaining stream of Resource.UseCall operations.
+type useState struct {
+	r     *sim.Resource
+	n     int
+	limit int
+}
+
+func useTickFn(a any) {
+	s := a.(*useState)
+	s.n++
+	if s.n < s.limit {
+		s.r.UseCall(10, useTickFn, s)
+	}
+}
+
+// BenchmarkResourceUseContended keeps 8 Use streams on a capacity-4
+// resource: every grant goes through the waiter ring. Must be 0 allocs/op
+// in steady state (the 8-cell ring is a one-time warm-up cost).
+func BenchmarkResourceUseContended(b *testing.B) {
+	e := sim.NewEngine(1)
+	r := sim.NewResource(e, "port", 4)
+	s := &useState{r: r, limit: b.N}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < 8; i++ {
+		r.UseCall(10, useTickFn, s)
+	}
+	e.RunUntilIdle()
+}
+
+// BenchmarkResourceUseUncontended grants every Use immediately (4 streams
+// on capacity 8): acquire→hold→release→notify with no waiter traffic.
+func BenchmarkResourceUseUncontended(b *testing.B) {
+	e := sim.NewEngine(1)
+	r := sim.NewResource(e, "port", 8)
+	s := &useState{r: r, limit: b.N}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < 4; i++ {
+		r.UseCall(10, useTickFn, s)
+	}
+	e.RunUntilIdle()
+}
+
+// --- container/heap reference-kernel baselines (internal/sim/heapref) ---
+
+func BenchmarkHeapRefScheduleFire(b *testing.B) {
+	e := heapref.NewEngine()
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < b.N {
+			e.After(1, tick)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	e.After(1, tick)
+	e.RunUntilIdle()
+}
+
+func BenchmarkHeapRefDeepQueue(b *testing.B) {
+	e := heapref.NewEngine()
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < b.N {
+			e.After(sim.Time(1+n&63), tick)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < 1024; i++ {
+		e.After(sim.Time(1+i&63), tick)
+	}
+	e.RunUntilIdle()
+}
+
+func BenchmarkHeapRefCancel(b *testing.B) {
+	e := heapref.NewEngine()
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.At(e.Now()+1, fn)
+		dead := e.At(e.Now()+2, fn)
+		e.Cancel(dead)
+		e.Step()
+	}
+}

@@ -6,6 +6,31 @@ package sim
 // ports, reconfiguration controllers, DMA engines and schedulers are
 // described by higher layers.
 
+// maxHandoffDepth bounds the synchronous Release→grant→Release recursion.
+// A released token is handed to the oldest waiter inline (same event, zero
+// extra latency), but a long chain of dependent releases would otherwise
+// deepen the Go stack by one frame set per hand-off; past this depth the
+// grant is re-scheduled as a zero-delay event at the current time, which
+// unwinds the stack without perturbing simulated time.
+const maxHandoffDepth = 64
+
+// waiter is one parked Acquire. Exactly one of fn/afn is set; afn+arg is
+// the zero-alloc path (a static function plus its argument).
+type waiter struct {
+	fn    func()
+	afn   func(any)
+	arg   any
+	start Time
+}
+
+func (w *waiter) call() {
+	if w.afn != nil {
+		w.afn(w.arg)
+	} else {
+		w.fn()
+	}
+}
+
 // Resource is a counting resource (e.g. a memory port, a DMA channel, an
 // accelerator's request slot) with capacity tokens and a FIFO of waiters.
 type Resource struct {
@@ -13,7 +38,17 @@ type Resource struct {
 	name     string
 	capacity int
 	inUse    int
-	waiters  []func()
+
+	// The waiter queue is a ring buffer: wq[whead] is the oldest waiter
+	// and wlen the occupied count. A ring (with popped cells cleared)
+	// keeps the backing array bounded by the peak queue depth; the old
+	// `waiters = waiters[1:]` slice walk grew the backing array without
+	// bound under steady churn because append kept extending the tail.
+	wq    []waiter
+	whead int
+	wlen  int
+
+	handoff int // current synchronous hand-off recursion depth
 
 	// Stats.
 	acquired   uint64
@@ -39,7 +74,38 @@ func (r *Resource) Capacity() int { return r.capacity }
 func (r *Resource) InUse() int { return r.inUse }
 
 // QueueLen returns the number of callers waiting for a token.
-func (r *Resource) QueueLen() int { return len(r.waiters) }
+func (r *Resource) QueueLen() int { return r.wlen }
+
+// waitersCap exposes the ring's backing capacity for the boundedness test.
+func (r *Resource) waitersCap() int { return len(r.wq) }
+
+func (r *Resource) pushWaiter(w waiter) {
+	if r.wlen == len(r.wq) {
+		n := len(r.wq) * 2
+		if n == 0 {
+			n = 8
+		}
+		nw := make([]waiter, n)
+		for i := 0; i < r.wlen; i++ {
+			nw[i] = r.wq[(r.whead+i)%len(r.wq)]
+		}
+		r.wq = nw
+		r.whead = 0
+	}
+	r.wq[(r.whead+r.wlen)%len(r.wq)] = w
+	r.wlen++
+	if r.wlen > r.maxWaiters {
+		r.maxWaiters = r.wlen
+	}
+}
+
+func (r *Resource) popWaiter() waiter {
+	w := r.wq[r.whead]
+	r.wq[r.whead] = waiter{} // drop references so granted callbacks can be collected
+	r.whead = (r.whead + 1) % len(r.wq)
+	r.wlen--
+	return w
+}
 
 // Acquire requests one token and calls then once the token is granted
 // (possibly immediately, in the same event).
@@ -50,15 +116,20 @@ func (r *Resource) Acquire(then func()) {
 		then()
 		return
 	}
-	start := r.eng.Now()
-	r.waiters = append(r.waiters, func() {
-		r.totalWait += r.eng.Now() - start
+	r.pushWaiter(waiter{fn: then, start: r.eng.Now()})
+}
+
+// AcquireCall requests one token and calls fn(arg) once it is granted.
+// With a statically allocated fn and pointer-typed arg, queueing performs
+// no heap allocation — the zero-alloc counterpart of Acquire.
+func (r *Resource) AcquireCall(fn func(any), arg any) {
+	if r.inUse < r.capacity {
+		r.inUse++
 		r.acquired++
-		then()
-	})
-	if len(r.waiters) > r.maxWaiters {
-		r.maxWaiters = len(r.waiters)
+		fn(arg)
+		return
 	}
+	r.pushWaiter(waiter{afn: fn, arg: arg, start: r.eng.Now()})
 }
 
 // Release returns one token, handing it to the oldest waiter if any.
@@ -66,27 +137,89 @@ func (r *Resource) Release() {
 	if r.inUse <= 0 {
 		panic("sim: release of idle resource " + r.name)
 	}
-	if len(r.waiters) > 0 {
-		w := r.waiters[0]
-		r.waiters = r.waiters[1:]
+	if r.wlen > 0 {
+		w := r.popWaiter()
+		r.totalWait += r.eng.Now() - w.start
+		r.acquired++
 		// The token transfers directly; inUse is unchanged.
-		w()
+		if r.handoff >= maxHandoffDepth {
+			r.deferGrant(w)
+			return
+		}
+		r.handoff++
+		w.call()
+		r.handoff--
 		return
 	}
 	r.inUse--
 }
 
+// deferGrant unwinds deep dependency chains through the event queue. It is
+// a separate function so the boxed waiter copy escapes only on this rare
+// path, keeping the common Release free of heap allocation.
+func (r *Resource) deferGrant(w waiter) {
+	g := &w
+	r.eng.AtCall(r.eng.now, deferredGrant, g)
+}
+
+func deferredGrant(a any) { a.(*waiter).call() }
+
+// useOp is a pooled acquire→hold→release→notify operation backing Use and
+// UseCall. Ops are recycled through a per-engine free list so the steady
+// state allocates nothing.
+type useOp struct {
+	r    *Resource
+	hold Time
+	done func()
+	dfn  func(any)
+	darg any
+	next *useOp
+}
+
+func (e *Engine) getUseOp() *useOp {
+	if op := e.useFree; op != nil {
+		e.useFree = op.next
+		op.next = nil
+		return op
+	}
+	return &useOp{}
+}
+
+func (e *Engine) putUseOp(op *useOp) {
+	*op = useOp{next: e.useFree}
+	e.useFree = op
+}
+
+func useGranted(a any) {
+	op := a.(*useOp)
+	op.r.eng.AfterCall(op.hold, useExpired, op)
+}
+
+func useExpired(a any) {
+	op := a.(*useOp)
+	r, done, dfn, darg := op.r, op.done, op.dfn, op.darg
+	r.eng.putUseOp(op) // recycle first: Release/done may re-enter Use
+	r.Release()
+	if dfn != nil {
+		dfn(darg)
+	} else if done != nil {
+		done()
+	}
+}
+
 // Use acquires a token, holds it for hold simulated time, releases it, and
 // then calls done. It is the common "serve one request" pattern.
 func (r *Resource) Use(hold Time, done func()) {
-	r.Acquire(func() {
-		r.eng.After(hold, func() {
-			r.Release()
-			if done != nil {
-				done()
-			}
-		})
-	})
+	op := r.eng.getUseOp()
+	op.r, op.hold, op.done = r, hold, done
+	r.AcquireCall(useGranted, op)
+}
+
+// UseCall is Use with a static-function completion; see AcquireCall.
+func (r *Resource) UseCall(hold Time, fn func(any), arg any) {
+	op := r.eng.getUseOp()
+	op.r, op.hold, op.dfn, op.darg = r, hold, fn, arg
+	r.AcquireCall(useGranted, op)
 }
 
 // Acquisitions returns how many tokens have been granted in total.
@@ -104,7 +237,7 @@ type Signal struct {
 	eng   *Engine
 	done  bool
 	at    Time
-	waits []func()
+	waits []waiter
 }
 
 // NewSignal creates an unfired signal.
@@ -122,7 +255,17 @@ func (s *Signal) Wait(fn func()) {
 		fn()
 		return
 	}
-	s.waits = append(s.waits, fn)
+	s.waits = append(s.waits, waiter{fn: fn})
+}
+
+// WaitCall registers fn(arg) to run when the signal fires; the zero-alloc
+// counterpart of Wait.
+func (s *Signal) WaitCall(fn func(any), arg any) {
+	if s.done {
+		fn(arg)
+		return
+	}
+	s.waits = append(s.waits, waiter{afn: fn, arg: arg})
 }
 
 // Fire marks the signal done and runs the waiters in registration order.
@@ -136,8 +279,8 @@ func (s *Signal) Fire() {
 	s.at = s.eng.Now()
 	waits := s.waits
 	s.waits = nil
-	for _, fn := range waits {
-		fn()
+	for i := range waits {
+		waits[i].call()
 	}
 }
 
@@ -180,6 +323,15 @@ func (w *WaitGroup) Wait(fn func()) {
 		w.sig.Fire()
 	}
 	w.sig.Wait(fn)
+}
+
+// WaitCall registers fn(arg) to run when the count reaches zero; the
+// zero-alloc counterpart of Wait.
+func (w *WaitGroup) WaitCall(fn func(any), arg any) {
+	if w.n == 0 && !w.sig.Done() {
+		w.sig.Fire()
+	}
+	w.sig.WaitCall(fn, arg)
 }
 
 // FIFO is an unbounded queue with blocking-style Pop: if the queue is

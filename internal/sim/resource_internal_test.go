@@ -1,0 +1,90 @@
+package sim
+
+import "testing"
+
+// The waiter ring must not grow without bound under steady churn. The old
+// slice-based queue (`waiters = waiters[1:]` + append) kept extending and
+// reallocating the backing array and retained popped callbacks; the ring
+// reuses a fixed window sized by peak depth.
+func TestResourceWaiterRingBounded(t *testing.T) {
+	e := NewEngine(1)
+	r := NewResource(e, "port", 1)
+	r.Acquire(func() {}) // take the only token
+	granted := 0
+	for i := 0; i < 10000; i++ {
+		r.Acquire(func() { granted++ }) // parks: token is held
+		r.Release()                     // hands the token straight to the waiter
+	}
+	if granted != 10000 {
+		t.Fatalf("granted %d waiters, want 10000", granted)
+	}
+	// Peak queue depth was 1, so the ring must still be at its initial size.
+	if c := r.waitersCap(); c > 8 {
+		t.Errorf("waiter ring grew to %d cells after 10000 cycles with depth 1, want <= 8", c)
+	}
+	if r.MaxQueue() != 1 {
+		t.Errorf("MaxQueue = %d, want 1", r.MaxQueue())
+	}
+}
+
+// FIFO order must survive ring wrap-around and mid-stream growth.
+func TestResourceWaiterRingFIFOAcrossWrap(t *testing.T) {
+	e := NewEngine(1)
+	r := NewResource(e, "port", 1)
+	r.Acquire(func() {})
+	var order []int
+	next := 0
+	// Interleave pushes and pops so whead walks around the ring several
+	// times, including a growth step (depth exceeds the initial 8 cells).
+	for round := 0; round < 5; round++ {
+		for i := 0; i < 12; i++ {
+			id := next
+			next++
+			r.Acquire(func() { order = append(order, id) })
+		}
+		for i := 0; i < 12; i++ {
+			r.Release()
+		}
+	}
+	if len(order) != 60 {
+		t.Fatalf("granted %d waiters, want 60", len(order))
+	}
+	for i, id := range order {
+		if id != i {
+			t.Fatalf("grant order[%d] = %d, want %d (FIFO violated)", i, id, i)
+		}
+	}
+}
+
+// A synchronous Release→grant→Release chain must not deepen the Go stack
+// without bound: past maxHandoffDepth the grant is re-scheduled as a
+// zero-delay event. The chain still completes at the same simulated time.
+func TestResourceHandoffDepthBounded(t *testing.T) {
+	e := NewEngine(1)
+	r := NewResource(e, "port", 1)
+	const chain = 5000
+	granted := 0
+	r.Acquire(func() {})
+	for i := 0; i < chain; i++ {
+		r.Acquire(func() {
+			granted++
+			r.Release() // immediately pass the token on
+		})
+	}
+	r.Release() // kick the chain
+	// Only the first maxHandoffDepth grants may run synchronously; the rest
+	// unwind through the event queue.
+	if granted > maxHandoffDepth {
+		t.Fatalf("%d grants ran synchronously, want <= %d", granted, maxHandoffDepth)
+	}
+	e.RunUntilIdle()
+	if granted != chain {
+		t.Fatalf("granted %d waiters after drain, want %d", granted, chain)
+	}
+	if e.Now() != 0 {
+		t.Errorf("deferred hand-off advanced simulated time to %v, want 0", e.Now())
+	}
+	if r.InUse() != 0 {
+		t.Errorf("InUse = %d after chain drained, want 0", r.InUse())
+	}
+}

@@ -7,10 +7,17 @@
 // insertion order must produce identical traces — so ties in event time are
 // broken by insertion sequence number, never by map iteration or scheduler
 // whim.
+//
+// The hot path is allocation-free in steady state: events live in an
+// index-addressed arena recycled through a free list (generation-counted
+// EventIDs detect staleness), the priority queue is a flat 4-ary min-heap
+// of plain structs rather than an interface-boxed container/heap, Cancel
+// is O(1) lazy deletion (dead entries are skipped at pop time), and the
+// AtCall/AfterCall variants let callers schedule a static function plus an
+// argument without boxing a fresh closure per event. See docs/perf.md.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
@@ -58,45 +65,39 @@ func (t Time) String() string {
 // Forever is a sentinel meaning "no deadline".
 const Forever Time = math.MaxInt64
 
-// Event is a scheduled callback.
-type event struct {
-	at    Time
-	seq   uint64
-	fn    func()
-	index int  // heap index
-	dead  bool // cancelled
+// EventID identifies a scheduled event so it can be cancelled. It is a
+// small value — an arena index plus the slot's generation at schedule
+// time — not a pointer: holding one does not keep the event alive, and a
+// stale id (fired, cancelled, or recycled slot) is detected by its
+// generation and safely ignored. The zero EventID never matches anything.
+type EventID struct {
+	idx int32
+	gen uint32
 }
 
-// EventID identifies a scheduled event so it can be cancelled.
-type EventID struct{ ev *event }
+// eventSlot is one arena cell holding a scheduled event's callback. The
+// common zero-alloc path stores a static function in afn plus its argument
+// in arg; the closure path stores fn. Exactly one of fn/afn is set while
+// the slot is live.
+type eventSlot struct {
+	fn  func()
+	afn func(any)
+	arg any
+	gen uint32
+}
 
-// eventQueue is a min-heap on (at, seq).
-type eventQueue []*event
+// heapEntry is one priority-queue element. The ordering key (at, seq) is
+// embedded so sift operations never chase into the arena; slot+gen locate
+// the callback and detect lazily-cancelled entries at pop time.
+type heapEntry struct {
+	at   Time
+	seq  uint64
+	slot int32
+	gen  uint32
+}
 
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
-}
-func (q *eventQueue) Push(x any) {
-	ev := x.(*event)
-	ev.index = len(*q)
-	*q = append(*q, ev)
-}
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return ev
+func heLess(a, b heapEntry) bool {
+	return a.at < b.at || (a.at == b.at && a.seq < b.seq)
 }
 
 // Engine is a discrete-event simulation engine. The zero value is not
@@ -107,10 +108,15 @@ func (q *eventQueue) Pop() any {
 type Engine struct {
 	now     Time
 	seq     uint64
-	queue   eventQueue
+	heap    []heapEntry
+	arena   []eventSlot
+	free    []int32
+	live    int // scheduled, not yet fired or cancelled
 	ran     uint64
 	stopped bool
 	rng     *RNG
+
+	useFree *useOp // resource.go: pooled Use/UseCall operations
 }
 
 // NewEngine returns an engine at time zero whose random source is seeded
@@ -129,18 +135,48 @@ func (e *Engine) RNG() *RNG { return e.rng }
 func (e *Engine) EventsRun() uint64 { return e.ran }
 
 // Pending reports how many events are scheduled and not yet fired.
-func (e *Engine) Pending() int { return len(e.queue) }
+// Lazily-cancelled entries still sitting in the heap are not counted.
+func (e *Engine) Pending() int { return e.live }
+
+// alloc takes a slot from the free list, growing the arena when empty.
+// Generations start at 1 so the zero EventID is never valid.
+func (e *Engine) alloc() int32 {
+	if n := len(e.free); n > 0 {
+		idx := e.free[n-1]
+		e.free = e.free[:n-1]
+		return idx
+	}
+	e.arena = append(e.arena, eventSlot{gen: 1})
+	return int32(len(e.arena) - 1)
+}
+
+// freeSlot recycles a slot: references are dropped so fired callbacks can
+// be collected, and the generation bump invalidates every outstanding
+// EventID and heap entry pointing at the slot.
+func (e *Engine) freeSlot(idx int32) {
+	s := &e.arena[idx]
+	s.fn, s.afn, s.arg = nil, nil, nil
+	s.gen++
+	e.free = append(e.free, idx)
+}
+
+func (e *Engine) schedule(at Time, fn func(), afn func(any), arg any) EventID {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, e.now))
+	}
+	idx := e.alloc()
+	s := &e.arena[idx]
+	s.fn, s.afn, s.arg = fn, afn, arg
+	e.push(heapEntry{at: at, seq: e.seq, slot: idx, gen: s.gen})
+	e.seq++
+	e.live++
+	return EventID{idx: idx, gen: s.gen}
+}
 
 // At schedules fn to run at absolute time at. Scheduling in the past
 // (before Now) panics: it would corrupt causality silently otherwise.
 func (e *Engine) At(at Time, fn func()) EventID {
-	if at < e.now {
-		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, e.now))
-	}
-	ev := &event{at: at, seq: e.seq, fn: fn}
-	e.seq++
-	heap.Push(&e.queue, ev)
-	return EventID{ev}
+	return e.schedule(at, fn, nil, nil)
 }
 
 // After schedules fn to run d after the current time.
@@ -148,42 +184,130 @@ func (e *Engine) After(d Time, fn func()) EventID {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %d", d))
 	}
-	return e.At(e.now+d, fn)
+	return e.schedule(e.now+d, fn, nil, nil)
+}
+
+// AtCall schedules fn(arg) at absolute time at. With a statically
+// allocated fn and a pointer-typed arg this path performs no heap
+// allocation, unlike At, whose closure argument is typically boxed at the
+// call site. It is the kernel's zero-alloc scheduling primitive.
+func (e *Engine) AtCall(at Time, fn func(any), arg any) EventID {
+	return e.schedule(at, nil, fn, arg)
+}
+
+// AfterCall schedules fn(arg) to run d after the current time; see AtCall.
+func (e *Engine) AfterCall(d Time, fn func(any), arg any) EventID {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %d", d))
+	}
+	return e.schedule(e.now+d, nil, fn, arg)
 }
 
 // Cancel removes a scheduled event. Cancelling an already-fired or
 // already-cancelled event is a no-op. It reports whether the event was
-// actually cancelled by this call.
+// actually cancelled by this call. Cancellation is O(1): the slot is
+// recycled immediately, while the heap entry goes stale and is discarded
+// when it reaches the top of the queue.
 func (e *Engine) Cancel(id EventID) bool {
-	ev := id.ev
-	if ev == nil || ev.dead || ev.index < 0 || ev.index >= len(e.queue) || e.queue[ev.index] != ev {
+	if id.gen == 0 || int(id.idx) >= len(e.arena) || e.arena[id.idx].gen != id.gen {
 		return false
 	}
-	ev.dead = true
-	heap.Remove(&e.queue, ev.index)
+	e.freeSlot(id.idx)
+	e.live--
 	return true
 }
 
 // Stop makes Run return after the currently executing event completes.
 func (e *Engine) Stop() { e.stopped = true }
 
-// Step fires the single earliest pending event. It reports false when the
-// queue is empty.
-func (e *Engine) Step() bool {
-	if len(e.queue) == 0 {
-		return false
+// push inserts an entry into the 4-ary min-heap.
+func (e *Engine) push(he heapEntry) {
+	q := append(e.heap, he)
+	i := len(q) - 1
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !heLess(he, q[p]) {
+			break
+		}
+		q[i] = q[p]
+		i = p
 	}
-	ev := heap.Pop(&e.queue).(*event)
-	ev.index = -1
-	if ev.dead {
-		return true
+	q[i] = he
+	e.heap = q
+}
+
+// pop removes and returns the heap minimum. The caller guarantees the
+// heap is non-empty.
+func (e *Engine) pop() heapEntry {
+	q := e.heap
+	top := q[0]
+	n := len(q) - 1
+	last := q[n]
+	e.heap = q[:n]
+	if n > 0 {
+		q = q[:n]
+		i := 0
+		for {
+			c := i<<2 + 1
+			if c >= n {
+				break
+			}
+			m := c
+			end := c + 4
+			if end > n {
+				end = n
+			}
+			for j := c + 1; j < end; j++ {
+				if heLess(q[j], q[m]) {
+					m = j
+				}
+			}
+			if !heLess(q[m], last) {
+				break
+			}
+			q[i] = q[m]
+			i = m
+		}
+		q[i] = last
 	}
-	if ev.at < e.now {
+	return top
+}
+
+// prune discards lazily-cancelled entries from the heap top, so that
+// e.heap[0], when present, is always a live event.
+func (e *Engine) prune() {
+	for len(e.heap) > 0 && e.arena[e.heap[0].slot].gen != e.heap[0].gen {
+		e.pop()
+	}
+}
+
+// fire pops and runs the heap head, which the caller has verified live.
+func (e *Engine) fire() {
+	he := e.pop()
+	s := &e.arena[he.slot]
+	fn, afn, arg := s.fn, s.afn, s.arg
+	e.freeSlot(he.slot)
+	e.live--
+	if he.at < e.now {
 		panic("sim: time went backwards")
 	}
-	e.now = ev.at
+	e.now = he.at
 	e.ran++
-	ev.fn()
+	if afn != nil {
+		afn(arg)
+	} else {
+		fn()
+	}
+}
+
+// Step fires the single earliest pending event. It reports false when no
+// pending events remain.
+func (e *Engine) Step() bool {
+	e.prune()
+	if len(e.heap) == 0 {
+		return false
+	}
+	e.fire()
 	return true
 }
 
@@ -192,11 +316,12 @@ func (e *Engine) Step() bool {
 // the final simulated time.
 func (e *Engine) Run(deadline Time) Time {
 	e.stopped = false
-	for !e.stopped && len(e.queue) > 0 {
-		if e.queue[0].at > deadline {
+	for !e.stopped {
+		e.prune()
+		if len(e.heap) == 0 || e.heap[0].at > deadline {
 			break
 		}
-		e.Step()
+		e.fire()
 	}
 	if e.now < deadline && deadline != Forever {
 		// Advance the clock to the deadline so back-to-back bounded runs
