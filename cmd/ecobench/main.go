@@ -49,6 +49,14 @@ type jsonResult struct {
 	Rows    [][]string `json:"rows"`
 }
 
+// jsonOutput is the full -json document: every selected experiment
+// table plus a snapshot of the runner's metrics registry (counters and
+// wall-clock histograms with p50/p90/p95/p99 quantiles).
+type jsonOutput struct {
+	Experiments []jsonResult           `json:"experiments"`
+	Metrics     *trace.MetricsSnapshot `json:"metrics"`
+}
+
 // selectScenarios resolves a -run spec against the registry: a
 // comma-separated list of tokens, each an exact id (E3) or, when no id
 // matches exactly, a prefix (A → A1–A5, E1 → only E1). Selection keeps
@@ -189,9 +197,10 @@ func mainExit() int {
 		}
 	}
 	if *jsonOut {
+		snap := metrics.Snapshot()
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(results); err != nil {
+		if err := enc.Encode(jsonOutput{Experiments: results, Metrics: &snap}); err != nil {
 			log.Print(err)
 			return 1
 		}

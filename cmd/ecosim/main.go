@@ -45,6 +45,8 @@ func main() {
 	traceOut := flag.String("trace", "", "write a Chrome/Perfetto trace-event JSON file")
 	metricsOut := flag.String("metrics", "", "write a Prometheus text-format metrics snapshot")
 	metricsJSON := flag.String("metrics-json", "", "write a JSON metrics snapshot")
+	profileOn := flag.Bool("profile", false, "print the bottleneck report (critical path, utilization, sampling profile)")
+	profileInt := flag.Duration("profile-interval", 0, "sampling-profiler period in simulated time (default 10us)")
 	flag.Parse()
 
 	w, err := workload.ByName(*kernelName)
@@ -57,6 +59,8 @@ func main() {
 	cfg.CompressedBitstreams = *compress
 	cfg.FlowTrace = *flowTrace
 	cfg.Trace = *traceOut != ""
+	cfg.Profile = *profileOn
+	cfg.ProfileInterval = sim.Time(profileInt.Nanoseconds()) * sim.Nanosecond
 	switch *sharing {
 	case "shared":
 		cfg.Sharing = ecoscale.Shared
@@ -152,7 +156,12 @@ func main() {
 			fmt.Printf("%12.3fus  %-12s %s\n", float64(e.AtPs)/1e6, e.Layer, e.Event)
 		}
 	}
+	if *profileOn {
+		fmt.Println()
+		fmt.Print(m.Prof.BottleneckReport())
+	}
 	if *traceOut != "" {
+		m.Prof.EmitTracks()
 		if err := writeFile(*traceOut, m.Tracer.WriteChrome); err != nil {
 			log.Fatal(err)
 		}

@@ -64,6 +64,13 @@ type Instance struct {
 // Calls returns how many invocations this instance has completed.
 func (in *Instance) Calls() uint64 { return in.calls }
 
+// PipeUtilization returns the fraction of [0, now] the instance's
+// compute pipeline (its issue slot) was occupied — the per-accelerator
+// busy figure of the profiler's utilization table.
+func (in *Instance) PipeUtilization(now sim.Time) float64 {
+	return in.pipe.Utilization(now)
+}
+
 // Busy reports whether any call is in flight.
 func (in *Instance) Busy() bool { return in.busy > 0 }
 

@@ -16,6 +16,7 @@ import (
 	"ecoscale/internal/hls"
 	"ecoscale/internal/mpi"
 	"ecoscale/internal/noc"
+	"ecoscale/internal/profile"
 	"ecoscale/internal/rts"
 	"ecoscale/internal/sim"
 	"ecoscale/internal/smmu"
@@ -60,6 +61,13 @@ type Config struct {
 	// TraceCap bounds retained spans (0 = unbounded); spans past the
 	// cap are counted, not stored.
 	TraceCap int
+	// Profile enables the simulation profiler (Machine.Prof): the
+	// sim-clock sampling profiler during the run, and critical-path /
+	// utilization analyses afterward. Implies Trace, since the analyses
+	// consume the span record.
+	Profile bool
+	// ProfileInterval is the sampling period (0 = 10µs default).
+	ProfileInterval sim.Time
 }
 
 // DefaultConfig returns a 2-level machine: workersPerCN Workers in each
@@ -96,6 +104,8 @@ type Machine struct {
 	Comm     *mpi.Comm
 	Flow     *trace.FlowLog
 	Tracer   *trace.Tracer
+	// Prof is the simulation profiler (nil unless Config.Profile).
+	Prof *profile.Profiler
 }
 
 // New builds a machine from the configuration.
@@ -115,6 +125,10 @@ func New(cfg Config) *Machine {
 	m.Space = unimem.NewSpace(m.Net, cfg.Unimem, m.Reg)
 
 	workers := m.Tree.NumWorkers()
+	if cfg.Profile {
+		cfg.Trace = true
+		m.Cfg.Trace = true
+	}
 	if cfg.Trace {
 		m.Tracer = trace.NewTracer(cfg.TraceCap)
 		m.Tracer.SetProcessName(trace.PIDSystem, "control plane")
@@ -148,6 +162,7 @@ func New(cfg Config) *Machine {
 	}
 	if cfg.FlowTrace {
 		m.Flow = trace.NewFlowLog(10000)
+		m.Flow.Reg = m.Reg
 		for _, mgr := range m.Managers {
 			mgr.Flow = m.Flow
 		}
@@ -171,6 +186,26 @@ func New(cfg Config) *Machine {
 	m.Daemon.Trace = m.Tracer
 	m.Daemon.Reg = m.Reg
 	m.Comm = mpi.WorldComm(m.Net)
+	if cfg.Profile {
+		m.Prof = profile.New(m.Eng, m.Tracer, m.Reg, cfg.ProfileInterval)
+		m.Prof.AddProbe("tasks.queued", trace.PIDSystem, func() float64 {
+			n := 0
+			for _, s := range m.Scheds {
+				n += s.QueueLen()
+			}
+			return float64(n)
+		})
+		m.Prof.AddProbe("tasks.outstanding", trace.PIDSystem, func() float64 {
+			n := 0
+			for _, s := range m.Scheds {
+				n += s.Outstanding()
+			}
+			return float64(n)
+		})
+		m.Prof.AddProbe("events.pending", trace.PIDSystem, func() float64 {
+			return float64(m.Eng.Pending())
+		})
+	}
 	return m
 }
 
@@ -194,6 +229,7 @@ func (m *Machine) Workers() int { return m.Tree.NumWorkers() }
 // Run drains the event queue and settles static energy; it returns the
 // final simulated time.
 func (m *Machine) Run() sim.Time {
+	m.Prof.Arm()
 	t := m.Eng.RunUntilIdle()
 	m.Meter.Settle()
 	return t
@@ -201,6 +237,7 @@ func (m *Machine) Run() sim.Time {
 
 // RunFor advances simulated time by at most d.
 func (m *Machine) RunFor(d sim.Time) sim.Time {
+	m.Prof.Arm()
 	t := m.Eng.Run(m.Eng.Now() + d)
 	m.Meter.Settle()
 	return t
@@ -255,6 +292,78 @@ func (m *Machine) Report() string {
 	if breakdown := m.latencyBreakdown(); breakdown != "" {
 		b.WriteString(breakdown)
 	}
+	if util := m.utilizationBreakdown(); util != "" {
+		b.WriteString(util)
+	}
+	return b.String()
+}
+
+// utilizationBreakdown renders time-weighted busy fractions from the
+// always-on occupancy integrals — no tracing or profiling required —
+// and publishes them as util.* summary gauges in the registry.
+func (m *Machine) utilizationBreakdown() string {
+	now := m.Eng.Now()
+	if now <= 0 {
+		return ""
+	}
+	type group struct {
+		name string
+		vals []float64
+	}
+	var groups []group
+	var cpus, hws, ports []float64
+	for _, s := range m.Scheds {
+		cpus = append(cpus, s.CPUUtilization(now))
+		hws = append(hws, s.HWUtilization(now))
+	}
+	for _, mgr := range m.Managers {
+		ports = append(ports, mgr.Fab.PortUtilization(now))
+	}
+	groups = append(groups,
+		group{"cpu cores", cpus},
+		group{"hw window", hws},
+		group{"config port", ports})
+	var pipes []float64
+	for _, k := range m.Domain.Kernels() {
+		for _, in := range m.Domain.Instances(k) {
+			pipes = append(pipes, in.PipeUtilization(now))
+		}
+	}
+	if len(pipes) > 0 {
+		groups = append(groups, group{"accel pipes", pipes})
+	}
+	// LinkStats is level-sorted, so levels appear in ascending order.
+	byLevel := map[int][]float64{}
+	var levels []int
+	for _, l := range m.Net.LinkStats(now) {
+		if _, ok := byLevel[l.Level]; !ok {
+			levels = append(levels, l.Level)
+		}
+		byLevel[l.Level] = append(byLevel[l.Level], l.Utilization)
+	}
+	for _, lv := range levels {
+		groups = append(groups, group{fmt.Sprintf("noc links L%d", lv), byLevel[lv]})
+	}
+
+	var b strings.Builder
+	b.WriteString("utilization (busy fraction of simulated time):\n")
+	fmt.Fprintf(&b, "  %-16s %8s %8s %6s\n", "component", "mean", "max", "n")
+	for _, g := range groups {
+		if len(g.vals) == 0 {
+			continue
+		}
+		var sum, max float64
+		for _, v := range g.vals {
+			sum += v
+			if v > max {
+				max = v
+			}
+		}
+		mean := sum / float64(len(g.vals))
+		fmt.Fprintf(&b, "  %-16s %7.1f%% %7.1f%% %6d\n", g.name, mean*100, max*100, len(g.vals))
+		m.Reg.GaugeL("util.mean", trace.L("component", g.name)).Set(mean)
+		m.Reg.GaugeL("util.max", trace.L("component", g.name)).Set(max)
+	}
 	return b.String()
 }
 
@@ -266,6 +375,7 @@ func (m *Machine) latencyBreakdown() string {
 		{"queue wait", "lat.queue_us"},
 		{"reconfig", "lat.reconfig_us"},
 		{"dma", "lat.dma_us"},
+		{"coherence", "lat.coh_us"},
 		{"compute (cpu)", "lat.compute_cpu_us"},
 		{"compute (hw)", "lat.compute_hw_us"},
 		{"task total", "lat.task_us"},

@@ -22,6 +22,15 @@ func runTraced(t *testing.T) *Machine {
 	if m.Tracer == nil {
 		t.Fatal("tracer not created")
 	}
+	runTracedOn(t, m)
+	return m
+}
+
+// runTracedOn drives runTraced's reference workload through an
+// already-built machine (shared with the golden-export test, which
+// needs its own Config).
+func runTracedOn(t *testing.T, m *Machine) {
+	t.Helper()
 	if _, err := m.DeployKernel(srcScale, hls.DefaultDirectives(), 0); err != nil {
 		t.Fatal(err)
 	}
@@ -38,7 +47,6 @@ func runTraced(t *testing.T) *Machine {
 		}, nil)
 	}
 	m.Run()
-	return m
 }
 
 // TestMachineSpanLifecycle is the ISSUE acceptance check: an end-to-end

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestWriteChromeGolden pins the Perfetto export byte-for-byte on a
+// small profiled run: span ordering, pid/tid lane naming, metadata
+// records and the profiler's counter tracks. Regenerate with
+//
+//	go test ./internal/core -run TestWriteChromeGolden -update
+//
+// and eyeball the diff — any change here is a change to what users see
+// in the Perfetto UI.
+func TestWriteChromeGolden(t *testing.T) {
+	cfg := DefaultConfig(2, 1)
+	cfg.Profile = true // implies Trace; adds sampler counter tracks
+	m := New(cfg)
+	runTracedOn(t, m)
+	m.Prof.EmitTracks()
+
+	var buf bytes.Buffer
+	if err := m.Tracer.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "trace_golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", golden, buf.Len())
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		got, want := buf.String(), string(want)
+		line, col := 1, 1
+		for i := 0; i < len(got) && i < len(want); i++ {
+			if got[i] != want[i] {
+				break
+			}
+			if got[i] == '\n' {
+				line, col = line+1, 1
+			} else {
+				col++
+			}
+		}
+		t.Fatalf("export differs from %s at line %d col %d (got %d bytes, want %d); "+
+			"run with -update if the change is intended", golden, line, col, len(got), len(want))
+	}
+}

@@ -11,8 +11,10 @@ import (
 	"ecoscale/internal/accel"
 	"ecoscale/internal/energy"
 	"ecoscale/internal/fabric"
+	"ecoscale/internal/profile"
 	"ecoscale/internal/runner"
 	"ecoscale/internal/sim"
+	"ecoscale/internal/trace"
 	"ecoscale/internal/unilogic"
 )
 
@@ -23,17 +25,30 @@ var mcDir = ecoscale.Directives{Unroll: 8, MemPorts: 8, Share: 1, Pipeline: true
 // nEngines engines under the given policies and returns the makespan
 // (excluding deployment).
 func burst(policy unilogic.Policy, virtualize bool, workers, nEngines, nCalls, paths int) (sim.Time, float64, error) {
+	mk, bal, _, err := burstRun(policy, virtualize, workers, nEngines, nCalls, paths, false)
+	return mk, bal, err
+}
+
+// burstProfiled is burst with the simulation profiler enabled; it also
+// returns the run's critical-path category shares for the table.
+func burstProfiled(policy unilogic.Policy, virtualize bool, workers, nEngines, nCalls, paths int) (sim.Time, []runner.NamedShare, error) {
+	mk, _, shares, err := burstRun(policy, virtualize, workers, nEngines, nCalls, paths, true)
+	return mk, shares, err
+}
+
+func burstRun(policy unilogic.Policy, virtualize bool, workers, nEngines, nCalls, paths int, profiled bool) (sim.Time, float64, []runner.NamedShare, error) {
 	w, err := ecoscale.KernelByName("montecarlo")
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, nil, err
 	}
 	cfg := ecoscale.DefaultConfig(workers, 1)
 	cfg.Sharing = policy
 	cfg.Virtualize = virtualize
+	cfg.Profile = profiled
 	m := ecoscale.New(cfg)
 	for h := 0; h < nEngines; h++ {
 		if _, err := m.DeployKernel(w.Source, mcDir, h); err != nil {
-			return 0, 0, err
+			return 0, 0, nil, err
 		}
 	}
 	seed := m.Space.Alloc(0, 4096)
@@ -54,9 +69,24 @@ func burst(policy unilogic.Policy, virtualize bool, workers, nEngines, nCalls, p
 	}
 	end := m.Run()
 	if calls != nCalls {
-		return 0, 0, fmt.Errorf("burst: %d of %d calls completed", calls, nCalls)
+		return 0, 0, nil, fmt.Errorf("burst: %d of %d calls completed", calls, nCalls)
 	}
-	return end - start, m.Domain.Balance("montecarlo"), nil
+	var shares []runner.NamedShare
+	if profiled {
+		// Critical path over the measured burst only: the deployment
+		// phase is excluded from the makespan column, so it is excluded
+		// from the share columns too.
+		var burstSpans []trace.Span
+		for _, s := range m.Tracer.Spans() {
+			if s.Start >= int64(start) {
+				burstSpans = append(burstSpans, s)
+			}
+		}
+		for _, sh := range profile.CriticalPath(burstSpans).Shares() {
+			shares = append(shares, runner.NamedShare{Name: sh.Cat.String(), Frac: sh.Frac})
+		}
+	}
+	return end - start, m.Domain.Balance("montecarlo"), shares, nil
 }
 
 // scenE6 compares the UNILOGIC shared pool against private accelerators
@@ -108,12 +138,14 @@ func scenE7() runner.Scenario {
 						if err != nil {
 							return runner.Row{}, err
 						}
-						pipe, _, err := burst(unilogic.Shared, true, 2, 1, 256, paths)
+						pipe, shares, err := burstProfiled(unilogic.Shared, true, 2, 1, 256, paths)
 						if err != nil {
 							return runner.Row{}, err
 						}
-						return runner.R(paths, fmt.Sprint(serial), fmt.Sprint(pipe),
-							fmt.Sprintf("%.2fx", float64(serial)/float64(pipe))), nil
+						row := runner.R(paths, fmt.Sprint(serial), fmt.Sprint(pipe),
+							fmt.Sprintf("%.2fx", float64(serial)/float64(pipe)))
+						row.Shares = shares
+						return row, nil
 					},
 				})
 			}

@@ -358,5 +358,11 @@ func (f *Fabric) LargestFreeBox() int {
 // Loads returns the number of completed partial reconfigurations.
 func (f *Fabric) Loads() uint64 { return f.loads }
 
+// PortUtilization returns the fraction of [0, now] the configuration
+// (ICAP-class) port spent transferring bitstreams.
+func (f *Fabric) PortUtilization(now sim.Time) float64 {
+	return f.port.Utilization(now)
+}
+
 // LoadedBytes returns total configuration bytes written to the port.
 func (f *Fabric) LoadedBytes() uint64 { return f.loadedBytes }

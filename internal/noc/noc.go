@@ -16,6 +16,7 @@ package noc
 
 import (
 	"fmt"
+	"sort"
 
 	"ecoscale/internal/energy"
 	"ecoscale/internal/sim"
@@ -175,6 +176,47 @@ func (n *Network) link(level, group, dir int) *sim.Resource {
 		n.links[k] = r
 	}
 	return r
+}
+
+// LinkStat is one link's identity and time-weighted load, for the
+// profiler's utilization tables and counter tracks.
+type LinkStat struct {
+	Level, Group, Dir int
+	Name              string
+	// Utilization is the fraction of [0, now] the link's transfer slots
+	// were occupied.
+	Utilization float64
+	// Waited is the summed queue wait across all acquisitions.
+	Waited sim.Time
+	// Grants counts completed slot acquisitions.
+	Grants uint64
+	// MaxQueue is the peak number of messages parked behind the link.
+	MaxQueue int
+}
+
+// LinkStats returns every link instantiated so far with its utilization
+// over [0, now], sorted by (level, group, dir) for deterministic output.
+// Links never traversed are absent: they were never created.
+func (n *Network) LinkStats(now sim.Time) []LinkStat {
+	out := make([]LinkStat, 0, len(n.links))
+	for k, r := range n.links {
+		out = append(out, LinkStat{
+			Level: k.level, Group: k.group, Dir: k.dir, Name: r.Name(),
+			Utilization: r.Utilization(now), Waited: r.TotalWait(),
+			Grants: r.Acquisitions(), MaxQueue: r.MaxQueue(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Level != b.Level {
+			return a.Level < b.Level
+		}
+		if a.Group != b.Group {
+			return a.Group < b.Group
+		}
+		return a.Dir < b.Dir
+	})
+	return out
 }
 
 // pathLinksInto appends the ordered links a src→dst message traverses to

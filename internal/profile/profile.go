@@ -1,0 +1,77 @@
+package profile
+
+import (
+	"ecoscale/internal/sim"
+	"ecoscale/internal/trace"
+)
+
+// Profiler bundles the three analyses for one simulated machine: the
+// sampling profiler runs during the simulation (through the engine
+// hook); the critical path and utilization timelines are derived from
+// the span record after the run. A nil *Profiler is a valid, disabled
+// profiler: Arm and EmitTracks are no-ops, following the tracer's
+// nil-safe discipline.
+type Profiler struct {
+	// Tracer supplies the span record and receives the counter tracks.
+	Tracer *trace.Tracer
+	// Reg, when non-nil, receives profile.* gauges (critical-path
+	// shares, sampler means).
+	Reg *trace.Registry
+	// Sampler is the sim-clock sampling profiler; add probes before the
+	// first Arm.
+	Sampler *Sampler
+
+	cp      *CritPath
+	emitted bool
+}
+
+// New creates a profiler over eng whose analyses read and extend tr.
+// interval is the sampling period (≤ 0 for the 10µs default).
+func New(eng *sim.Engine, tr *trace.Tracer, reg *trace.Registry, interval sim.Time) *Profiler {
+	return &Profiler{Tracer: tr, Reg: reg, Sampler: NewSampler(eng, interval, reg, tr)}
+}
+
+// AddProbe registers a sampling probe; see Sampler.AddProbe.
+func (p *Profiler) AddProbe(name string, pid int, fn func() float64) {
+	if p == nil {
+		return
+	}
+	p.Sampler.AddProbe(name, pid, fn)
+}
+
+// Arm (re)installs the sampling hook; call before each engine run.
+func (p *Profiler) Arm() {
+	if p == nil {
+		return
+	}
+	p.Sampler.Arm()
+}
+
+// CriticalPath extracts (and caches) the run's critical path, and
+// publishes per-category share gauges to the registry.
+func (p *Profiler) CriticalPath() *CritPath {
+	if p == nil {
+		return &CritPath{}
+	}
+	if p.cp != nil {
+		return p.cp
+	}
+	p.cp = CriticalPath(p.Tracer.Spans())
+	if p.Reg != nil && p.cp.Makespan() > 0 {
+		for _, sh := range p.cp.Shares() {
+			p.Reg.GaugeL("profile.critpath.share",
+				trace.L("category", sh.Cat.String())).Set(sh.Frac)
+		}
+	}
+	return p.cp
+}
+
+// EmitTracks appends the utilization counter tracks to the tracer's
+// export, at most once per run.
+func (p *Profiler) EmitTracks() {
+	if p == nil || p.emitted {
+		return
+	}
+	p.emitted = true
+	EmitCounterTracks(p.Tracer)
+}

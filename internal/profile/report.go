@@ -1,0 +1,86 @@
+package profile
+
+import (
+	"fmt"
+	"strings"
+
+	"ecoscale/internal/trace"
+)
+
+// This file renders the human-facing bottleneck report printed by
+// `ecosim -profile`. Every number is derived from the deterministic
+// span record and formatted with fixed precision, so the report is
+// byte-stable across runs of the same scenario.
+
+// TopK is the default contributor-table depth.
+const TopK = 10
+
+// componentName labels a trace process for the report.
+func componentName(tr *trace.Tracer, pid int) string {
+	if n := tr.ProcessName(pid); n != "" {
+		return n
+	}
+	if pid == trace.PIDSystem {
+		return "system"
+	}
+	return fmt.Sprintf("worker %d", pid-1)
+}
+
+func us(ps int64) float64 { return float64(ps) / 1e6 }
+
+// BottleneckReport renders the full report: critical path by category
+// with Amdahl what-if estimates, top contributors, span-derived lane
+// utilization, and the sampling-profiler summary.
+func (p *Profiler) BottleneckReport() string {
+	var b strings.Builder
+	if p == nil {
+		return "(profiler disabled)\n"
+	}
+	cp := p.CriticalPath()
+	fmt.Fprintf(&b, "== bottleneck report ==\n")
+	fmt.Fprintf(&b, "traced window: %.3fus (%d spans)\n", us(cp.Makespan()), p.Tracer.Len())
+	if cp.Makespan() <= 0 {
+		b.WriteString("(no spans recorded; run with tracing enabled)\n")
+		return b.String()
+	}
+
+	cat := trace.NewTable("critical path by category",
+		"category", "time(us)", "share", "2x faster => makespan")
+	for _, sh := range cp.Shares() {
+		whatIf := "-"
+		if sh.Cat != Idle {
+			whatIf = fmt.Sprintf("%+.1f%%", (cp.WhatIf(sh.Cat, 2)-1)*100)
+		}
+		cat.AddRow(sh.Cat.String(), fmt.Sprintf("%.3f", us(sh.Ps)),
+			fmt.Sprintf("%.1f%%", sh.Frac*100), whatIf)
+	}
+	b.WriteString(cat.String())
+
+	top := cp.TopContributors(TopK)
+	if len(top) > 0 {
+		tbl := trace.NewTable("top critical-path contributors",
+			"component", "activity", "category", "time(us)", "share")
+		for _, c := range top {
+			tbl.AddRow(componentName(p.Tracer, c.PID), c.Name, c.Cat.String(),
+				fmt.Sprintf("%.3f", us(c.Ps)), fmt.Sprintf("%.1f%%", c.Frac*100))
+		}
+		b.WriteString(tbl.String())
+	}
+
+	lanes := LaneUtilization(p.Tracer.Spans(), cp.Start, cp.End)
+	if len(lanes) > 0 {
+		tbl := trace.NewTable("lane utilization (span-derived)",
+			"component", "lane", "busy(us)", "busy", "peak")
+		for _, u := range lanes {
+			tbl.AddRow(componentName(p.Tracer, u.PID), u.Track,
+				fmt.Sprintf("%.3f", us(u.BusyPs)),
+				fmt.Sprintf("%.1f%%", u.Frac*100), u.Peak)
+		}
+		b.WriteString(tbl.String())
+	}
+
+	if p.Sampler.Samples() > 0 {
+		b.WriteString(p.Sampler.Table().String())
+	}
+	return b.String()
+}

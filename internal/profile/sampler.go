@@ -1,0 +1,119 @@
+package profile
+
+import (
+	"ecoscale/internal/sim"
+	"ecoscale/internal/trace"
+)
+
+// Sampler is the sim-clock sampling profiler: at every Interval
+// boundary it reads a set of probes (queue depths, in-flight counts,
+// outstanding events) and records them as time-weighted gauges and
+// Perfetto counter tracks.
+//
+// It rides the engine's sampling hook rather than scheduling events of
+// its own: the engine invokes the sampler immediately before the first
+// event at or after each boundary. That keeps the event count, the seq
+// ordering and the final idle time of the run byte-identical with the
+// sampler on or off, and makes the disabled cost a single comparison
+// per fired event.
+type Sampler struct {
+	// Interval is the sim-clock sampling period.
+	Interval sim.Time
+	// Reg, when non-nil, receives one prof.<name> gauge per probe whose
+	// time-weighted mean summarizes the run.
+	Reg *trace.Registry
+	// Trace, when non-nil, receives one counter-track sample per probe
+	// per tick.
+	Trace *trace.Tracer
+
+	eng     *sim.Engine
+	probes  []Probe
+	gauges  []*trace.Gauge
+	peaks   []float64
+	lasts   []float64
+	samples int
+}
+
+// Probe is one scalar the sampler reads each tick.
+type Probe struct {
+	// Name is the gauge suffix and counter-track name.
+	Name string
+	// PID is the counter track's process (PIDSystem for machine-wide
+	// signals).
+	PID int
+	// Fn reads the current value. It must not mutate simulation state.
+	Fn func() float64
+}
+
+// NewSampler creates a sampler on eng. interval defaults to 10µs when
+// not positive.
+func NewSampler(eng *sim.Engine, interval sim.Time, reg *trace.Registry, tr *trace.Tracer) *Sampler {
+	if interval <= 0 {
+		interval = 10 * sim.Microsecond
+	}
+	return &Sampler{Interval: interval, Reg: reg, Trace: tr, eng: eng}
+}
+
+// AddProbe registers one probe; call before Arm.
+func (sp *Sampler) AddProbe(name string, pid int, fn func() float64) {
+	sp.probes = append(sp.probes, Probe{Name: name, PID: pid, Fn: fn})
+	var g *trace.Gauge
+	if sp.Reg != nil {
+		g = sp.Reg.Gauge("prof." + name)
+	}
+	sp.gauges = append(sp.gauges, g)
+	sp.peaks = append(sp.peaks, 0)
+	sp.lasts = append(sp.lasts, 0)
+}
+
+// Arm installs the sampler on the engine, sampling from the current
+// time onward. Safe to call before every run; a nil sampler is a no-op.
+func (sp *Sampler) Arm() {
+	if sp == nil {
+		return
+	}
+	sp.eng.SetSampler(sp.eng.Now(), sp.tick)
+}
+
+func (sp *Sampler) tick(now sim.Time) sim.Time {
+	at := int64(now)
+	for i := range sp.probes {
+		p := &sp.probes[i]
+		v := p.Fn()
+		if g := sp.gauges[i]; g != nil {
+			g.SetAt(at, v)
+		}
+		sp.Trace.AddCounter(at, p.PID, p.Name, v)
+		if v > sp.peaks[i] {
+			sp.peaks[i] = v
+		}
+		sp.lasts[i] = v
+	}
+	sp.samples++
+	return now + sp.Interval
+}
+
+// Samples returns how many ticks have fired.
+func (sp *Sampler) Samples() int {
+	if sp == nil {
+		return 0
+	}
+	return sp.samples
+}
+
+// Table renders the per-probe summary: sample count, time-weighted
+// mean (when a registry was attached), last value and peak.
+func (sp *Sampler) Table() *trace.Table {
+	tbl := trace.NewTable("sampling profile", "probe", "samples", "tw-mean", "last", "peak")
+	if sp == nil {
+		return tbl
+	}
+	for i := range sp.probes {
+		mean := 0.0
+		if g := sp.gauges[i]; g != nil {
+			mean = g.TimeWeightedMean()
+		}
+		tbl.AddRow(sp.probes[i].Name, sp.samples, mean, sp.lasts[i], sp.peaks[i])
+	}
+	return tbl
+}

@@ -1,0 +1,153 @@
+package profile
+
+import (
+	"ecoscale/internal/trace"
+)
+
+// This file derives time-weighted utilization timelines from the span
+// record: per-lane overlap counts rendered as Perfetto counter tracks
+// ("how many activities of this kind were in flight at t") and as
+// busy-fraction summaries for the bottleneck report.
+
+// trackOf maps an activity span to its counter-track name within its
+// process, or "" for spans that have no timeline (task envelopes,
+// instants).
+func trackOf(s *trace.Span) string {
+	if s.End <= s.Start {
+		return ""
+	}
+	switch s.Cat {
+	case trace.CatQueue:
+		return "queued"
+	case trace.CatCompute:
+		if s.TID == trace.TIDFabric {
+			return "busy fabric"
+		}
+		return "busy cpu"
+	case trace.CatSMMU:
+		return "offload"
+	case trace.CatDMA:
+		return "dma streams"
+	case trace.CatCoh:
+		return "coherence"
+	case trace.CatReconfig:
+		return "reconfig"
+	case trace.CatSteal:
+		return "steal"
+	default:
+		return ""
+	}
+}
+
+// laneKey identifies one counter track: a process plus a track name.
+type laneKey struct {
+	pid   int
+	track string
+}
+
+// delta is one +1/−1 step of a lane's overlap count.
+type delta struct {
+	at int64
+	d  int
+}
+
+// laneDeltas collects per-lane step events from the retained spans.
+func laneDeltas(spans []trace.Span) map[laneKey][]delta {
+	lanes := map[laneKey][]delta{}
+	for i := range spans {
+		s := &spans[i]
+		track := trackOf(s)
+		if track == "" {
+			continue
+		}
+		k := laneKey{s.PID, track}
+		lanes[k] = append(lanes[k], delta{s.Start, +1}, delta{s.End, -1})
+	}
+	for _, ds := range lanes {
+		sortSlice(ds, func(a, b delta) bool {
+			if a.at != b.at {
+				return a.at < b.at
+			}
+			return a.d < b.d // ends before starts: back-to-back spans don't spike
+		})
+	}
+	return lanes
+}
+
+// sortedLaneKeys returns the lane keys ordered by (pid, track).
+func sortedLaneKeys(lanes map[laneKey][]delta) []laneKey {
+	keys := make([]laneKey, 0, len(lanes))
+	for k := range lanes {
+		keys = append(keys, k)
+	}
+	sortSlice(keys, func(a, b laneKey) bool {
+		if a.pid != b.pid {
+			return a.pid < b.pid
+		}
+		return a.track < b.track
+	})
+	return keys
+}
+
+// EmitCounterTracks converts the tracer's retained spans into Perfetto
+// counter tracks, one per (process, activity kind): the sample value is
+// the number of overlapping activities at that instant. Same-timestamp
+// steps are coalesced to a single sample. Lanes are emitted in sorted
+// order, so the export is deterministic.
+func EmitCounterTracks(t *trace.Tracer) {
+	if t == nil {
+		return
+	}
+	lanes := laneDeltas(t.Spans())
+	for _, k := range sortedLaneKeys(lanes) {
+		level := 0
+		ds := lanes[k]
+		for i := 0; i < len(ds); {
+			at := ds[i].at
+			for i < len(ds) && ds[i].at == at {
+				level += ds[i].d
+				i++
+			}
+			t.AddCounter(at, k.pid, k.track, float64(level))
+		}
+	}
+}
+
+// LaneUtil is one lane's utilization summary over the analysis window.
+type LaneUtil struct {
+	PID   int
+	Track string
+	// BusyPs is the union length (overlap ≥ 1) of the lane's spans.
+	BusyPs int64
+	// Frac is BusyPs over the window length.
+	Frac float64
+	// Peak is the maximum overlap count.
+	Peak int
+}
+
+// LaneUtilization summarizes each lane's busy fraction of the window
+// [start, end], sorted by (pid, track).
+func LaneUtilization(spans []trace.Span, start, end int64) []LaneUtil {
+	window := end - start
+	lanes := laneDeltas(spans)
+	out := make([]LaneUtil, 0, len(lanes))
+	for _, k := range sortedLaneKeys(lanes) {
+		u := LaneUtil{PID: k.pid, Track: k.track}
+		level, lastAt := 0, int64(0)
+		for _, d := range lanes[k] {
+			if level > 0 {
+				u.BusyPs += d.at - lastAt
+			}
+			level += d.d
+			if level > u.Peak {
+				u.Peak = level
+			}
+			lastAt = d.at
+		}
+		if window > 0 {
+			u.Frac = float64(u.BusyPs) / float64(window)
+		}
+		out = append(out, u)
+	}
+	return out
+}

@@ -341,6 +341,12 @@ type Scheduler struct {
 	idleCb     func() // hook for the work-stealing layer
 	wlabel     string // cached strconv of Worker for metric labels
 	opFree     *taskOp
+
+	// Time-weighted occupancy integrals (core-ps / slot-ps), folded on
+	// every cpuRunning/hwRunning change; see sim.Resource for the scheme.
+	cpuBusyInt sim.Time
+	hwBusyInt  sim.Time
+	lastBusyAt sim.Time
 }
 
 // NewScheduler creates a Worker's scheduler.
@@ -364,6 +370,44 @@ func (s *Scheduler) Outstanding() int { return len(s.queue) + s.cpuRunning + s.h
 
 // Executed returns per-device completed-task counts.
 func (s *Scheduler) Executed(d Device) uint64 { return s.executed[d] }
+
+// tickBusy folds the interval since the last occupancy change into the
+// CPU and HW busy-time integrals. Called before every running-count
+// change.
+func (s *Scheduler) tickBusy() {
+	if now := s.eng.Now(); now > s.lastBusyAt {
+		dt := now - s.lastBusyAt
+		s.cpuBusyInt += sim.Time(s.cpuRunning) * dt
+		s.hwBusyInt += sim.Time(s.hwRunning) * dt
+		s.lastBusyAt = now
+	}
+}
+
+// CPUUtilization returns the fraction of [0, now] this Worker's cores
+// spent running software tasks.
+func (s *Scheduler) CPUUtilization(now sim.Time) float64 {
+	if now <= 0 || s.Cores <= 0 {
+		return 0
+	}
+	b := s.cpuBusyInt
+	if now > s.lastBusyAt {
+		b += sim.Time(s.cpuRunning) * (now - s.lastBusyAt)
+	}
+	return float64(b) / (float64(now) * float64(s.Cores))
+}
+
+// HWUtilization returns the fraction of [0, now] this Worker's hardware
+// in-flight window was occupied by outstanding accelerator calls.
+func (s *Scheduler) HWUtilization(now sim.Time) float64 {
+	if now <= 0 || s.HWInflight <= 0 {
+		return 0
+	}
+	b := s.hwBusyInt
+	if now > s.lastBusyAt {
+		b += sim.Time(s.hwRunning) * (now - s.lastBusyAt)
+	}
+	return float64(b) / (float64(now) * float64(s.HWInflight))
+}
 
 // MeanWait returns the average queue wait.
 func (s *Scheduler) MeanWait() sim.Time {
@@ -457,6 +501,7 @@ func (s *Scheduler) start(q queued, dev Device) {
 	op := s.getTaskOp()
 	op.s, op.t, op.done, op.dev, op.start = s, t, q.done, dev, start
 	if dev == DeviceHW {
+		s.tickBusy()
 		s.hwRunning++
 		s.Domain.Call(s.Worker, t.Kernel, accel.CallSpec{
 			Bindings: t.Bindings, Reads: t.Reads, Writes: t.Writes,
@@ -465,6 +510,7 @@ func (s *Scheduler) start(q queued, dev Device) {
 		return
 	}
 	// CPU path: hold a core for the modelled time, then apply data.
+	s.tickBusy()
 	s.cpuRunning++
 	s.eng.AfterCall(s.CPUModel.Time(t.SWStats), taskCPUDone, op)
 }
@@ -502,6 +548,7 @@ func taskCPUDone(a any) {
 func taskFinish(op *taskOp, err error) {
 	s, t, dev, start, done := op.s, op.t, op.dev, op.start, op.done
 	s.putTaskOp(op) // recycle first: done/pump may start new tasks
+	s.tickBusy()
 	if dev == DeviceHW {
 		s.hwRunning--
 	} else {

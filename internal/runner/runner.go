@@ -26,6 +26,19 @@ import (
 type Row struct {
 	Cells [][]any
 	Value any
+	// Shares, when set, carries the point's critical-path category
+	// shares (from internal/profile). When any point of a scenario sets
+	// Shares, Run appends one "cp:<name>" column per distinct name —
+	// after the declared columns, before Finalize — so E-series tables
+	// can pin bottleneck claims per point. Points without a given share
+	// render "-".
+	Shares []NamedShare
+}
+
+// NamedShare is one named fraction attached to a Row.
+type NamedShare struct {
+	Name string
+	Frac float64
 }
 
 // R builds the common single-row Row.
@@ -255,12 +268,56 @@ func Run(ctx context.Context, s Scenario, opts Options) (*trace.Table, error) {
 			tbl.AddRow(cells...)
 		}
 	}
+	appendShareColumns(tbl, rows)
 	if s.Finalize != nil {
 		if err := s.Finalize(tbl, rows); err != nil {
 			return nil, fmt.Errorf("%s: finalize: %w", s.ID, err)
 		}
 	}
 	return tbl, nil
+}
+
+// appendShareColumns widens the table with one cp:<name> column per
+// distinct share name (first-appearance order over declared points, so
+// the layout is deterministic). Each of a point's table rows receives
+// that point's shares, rendered as a fixed-precision percentage.
+func appendShareColumns(tbl *trace.Table, rows []Row) {
+	var names []string
+	seen := map[string]bool{}
+	for _, r := range rows {
+		for _, sh := range r.Shares {
+			if !seen[sh.Name] {
+				seen[sh.Name] = true
+				names = append(names, sh.Name)
+			}
+		}
+	}
+	if len(names) == 0 {
+		return
+	}
+	for _, n := range names {
+		tbl.Columns = append(tbl.Columns, "cp:"+n)
+	}
+	ri := 0
+	for _, r := range rows {
+		byName := map[string]float64{}
+		for _, sh := range r.Shares {
+			byName[sh.Name] = sh.Frac
+		}
+		for range r.Cells {
+			if ri >= len(tbl.Rows) {
+				return // Finalize-free invariant: one table row per cell row
+			}
+			for _, n := range names {
+				cell := "-"
+				if f, ok := byName[n]; ok {
+					cell = fmt.Sprintf("%.1f%%", f*100)
+				}
+				tbl.Rows[ri] = append(tbl.Rows[ri], cell)
+			}
+			ri++
+		}
+	}
 }
 
 // RunSeq runs the scenario sequentially with no timeout — the reference

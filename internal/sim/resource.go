@@ -54,6 +54,13 @@ type Resource struct {
 	acquired   uint64
 	totalWait  Time
 	maxWaiters int
+
+	// Time-weighted occupancy: busyInt accumulates inUse·Δt (in
+	// token-picoseconds) up to lastBusyAt. Folding happens only when
+	// inUse changes, so the steady-state cost is two integer ops per
+	// transition and the integral is exact.
+	busyInt    Time
+	lastBusyAt Time
 }
 
 // NewResource creates a resource with the given token capacity.
@@ -75,6 +82,34 @@ func (r *Resource) InUse() int { return r.inUse }
 
 // QueueLen returns the number of callers waiting for a token.
 func (r *Resource) QueueLen() int { return r.wlen }
+
+// tickBusy folds the interval since the last occupancy change into the
+// busy-time integral. Must be called before every inUse change.
+func (r *Resource) tickBusy() {
+	if now := r.eng.now; now > r.lastBusyAt {
+		r.busyInt += Time(r.inUse) * (now - r.lastBusyAt)
+		r.lastBusyAt = now
+	}
+}
+
+// BusyTime returns the token-picoseconds of held-token time accumulated
+// up to now (now must not precede the engine clock's past transitions).
+func (r *Resource) BusyTime(now Time) Time {
+	b := r.busyInt
+	if now > r.lastBusyAt {
+		b += Time(r.inUse) * (now - r.lastBusyAt)
+	}
+	return b
+}
+
+// Utilization returns the fraction of [0, now] the resource's tokens
+// were held, in [0, 1]; 0 when now is not positive.
+func (r *Resource) Utilization(now Time) float64 {
+	if now <= 0 {
+		return 0
+	}
+	return float64(r.BusyTime(now)) / (float64(now) * float64(r.capacity))
+}
 
 // waitersCap exposes the ring's backing capacity for the boundedness test.
 func (r *Resource) waitersCap() int { return len(r.wq) }
@@ -111,6 +146,7 @@ func (r *Resource) popWaiter() waiter {
 // (possibly immediately, in the same event).
 func (r *Resource) Acquire(then func()) {
 	if r.inUse < r.capacity {
+		r.tickBusy()
 		r.inUse++
 		r.acquired++
 		then()
@@ -124,6 +160,7 @@ func (r *Resource) Acquire(then func()) {
 // no heap allocation — the zero-alloc counterpart of Acquire.
 func (r *Resource) AcquireCall(fn func(any), arg any) {
 	if r.inUse < r.capacity {
+		r.tickBusy()
 		r.inUse++
 		r.acquired++
 		fn(arg)
@@ -151,6 +188,7 @@ func (r *Resource) Release() {
 		r.handoff--
 		return
 	}
+	r.tickBusy()
 	r.inUse--
 }
 

@@ -117,12 +117,35 @@ type Engine struct {
 	rng     *RNG
 
 	useFree *useOp // resource.go: pooled Use/UseCall operations
+
+	// Sampling hook (see SetSampler). sampleAt is Forever when no
+	// sampler is installed, so the disabled cost is one comparison in
+	// fire.
+	sampler  func(now Time) Time
+	sampleAt Time
 }
 
 // NewEngine returns an engine at time zero whose random source is seeded
 // with seed.
 func NewEngine(seed int64) *Engine {
-	return &Engine{rng: NewRNG(seed)}
+	return &Engine{rng: NewRNG(seed), sampleAt: Forever}
+}
+
+// SetSampler installs fn as the engine's sampling hook: immediately
+// before running the first event whose time is at or after nextAt, the
+// engine calls fn(now); fn returns the next boundary to sample at, or
+// Forever to stop. The hook schedules no events and never advances the
+// clock, so installing it cannot change simulation results, event
+// counts, or the final idle time — unlike a periodic self-rescheduling
+// event, whose trailing tick would extend the run past the last real
+// event. Passing a nil fn uninstalls the hook.
+func (e *Engine) SetSampler(nextAt Time, fn func(now Time) Time) {
+	e.sampler = fn
+	if fn == nil {
+		e.sampleAt = Forever
+		return
+	}
+	e.sampleAt = nextAt
 }
 
 // Now returns the current simulated time.
@@ -293,6 +316,9 @@ func (e *Engine) fire() {
 	}
 	e.now = he.at
 	e.ran++
+	if he.at >= e.sampleAt {
+		e.sampleAt = e.sampler(he.at)
+	}
 	if afn != nil {
 		afn(arg)
 	} else {

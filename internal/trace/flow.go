@@ -16,7 +16,14 @@ type FlowLog struct {
 	dropped uint64
 	// Cap bounds retained events (0 = unbounded).
 	Cap int
+	// Reg, when non-nil, receives a FlowDropsCounter increment for every
+	// event discarded at the cap, so -metrics reports the truncation.
+	Reg *Registry
 }
+
+// FlowDropsCounter is the registry counter incremented when a FlowLog
+// discards an event because its cap was reached.
+const FlowDropsCounter = "trace.flow.drops"
 
 // FlowEvent is one layer-interaction step.
 type FlowEvent struct {
@@ -36,6 +43,9 @@ func (l *FlowLog) Add(atPs int64, layer, format string, args ...any) {
 	}
 	if l.Cap > 0 && len(l.events) >= l.Cap {
 		l.dropped++
+		if l.Reg != nil {
+			l.Reg.Counter(FlowDropsCounter).Inc()
+		}
 		return
 	}
 	l.events = append(l.events, FlowEvent{AtPs: atPs, Layer: layer, Event: fmt.Sprintf(format, args...)})

@@ -113,13 +113,25 @@ type HistogramSnapshot struct {
 	Max     float64           `json:"max"`
 	P50     float64           `json:"p50"`
 	P90     float64           `json:"p90"`
+	P95     float64           `json:"p95"`
 	P99     float64           `json:"p99"`
 	Buckets []BucketSnapshot  `json:"buckets"`
+}
+
+// GaugeSnapshot is one gauge in a metrics snapshot.
+type GaugeSnapshot struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  float64           `json:"value"`
+	// TimeWeightedMean is the ps-weighted mean of the values the gauge
+	// held between its first and last timed update.
+	TimeWeightedMean float64 `json:"time_weighted_mean"`
 }
 
 // MetricsSnapshot is the full machine-readable state of a Registry.
 type MetricsSnapshot struct {
 	Counters   []CounterSnapshot   `json:"counters"`
+	Gauges     []GaugeSnapshot     `json:"gauges,omitempty"`
 	Stats      []StatSnapshot      `json:"stats"`
 	Histograms []HistogramSnapshot `json:"histograms"`
 }
@@ -131,6 +143,13 @@ func (r *Registry) Snapshot() MetricsSnapshot {
 		c := r.counters[k]
 		snap.Counters = append(snap.Counters, CounterSnapshot{
 			Name: c.Name, Labels: labelMap(c.Labels), Value: c.Value,
+		})
+	}
+	for _, k := range r.GaugeNames() {
+		g := r.gauges[k]
+		snap.Gauges = append(snap.Gauges, GaugeSnapshot{
+			Name: g.Name, Labels: labelMap(g.Labels),
+			Value: finite(g.Value()), TimeWeightedMean: finite(g.TimeWeightedMean()),
 		})
 	}
 	for _, k := range r.StatNames() {
@@ -146,7 +165,8 @@ func (r *Registry) Snapshot() MetricsSnapshot {
 		hs := HistogramSnapshot{
 			Name: h.Name, Labels: labelMap(h.Labels), Count: h.Count(),
 			Sum: h.Sum(), Min: finite(h.Min()), Max: finite(h.Max()),
-			P50: h.Quantile(0.50), P90: h.Quantile(0.90), P99: h.Quantile(0.99),
+			P50: h.Quantile(0.50), P90: h.Quantile(0.90),
+			P95: h.Quantile(0.95), P99: h.Quantile(0.99),
 		}
 		var cum uint64
 		for i := 0; i < h.NumBuckets(); i++ {
@@ -168,7 +188,8 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 }
 
 // WritePrometheus emits the registry in Prometheus text exposition
-// format: counters as counter series, stats as min/max/mean gauges plus
+// format: counters as counter series, gauges as a last-value series plus
+// a _twa time-weighted-mean series, stats as min/max/mean gauges plus
 // _count/_sum, histograms as native histogram series with cumulative
 // le buckets. Series sharing a name share one TYPE header.
 func (r *Registry) WritePrometheus(w io.Writer) error {
@@ -187,6 +208,14 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		n := PromName(c.Name)
 		emitHeader(seen, n, "counter")
 		fmt.Fprintf(bw, "%s%s %d\n", n, promLabels(c.Labels), c.Value)
+	}
+	for _, k := range r.GaugeNames() {
+		g := r.gauges[k]
+		n := PromName(g.Name)
+		emitHeader(seen, n, "gauge")
+		fmt.Fprintf(bw, "%s%s %g\n", n, promLabels(g.Labels), finite(g.Value()))
+		emitHeader(seen, n+"_twa", "gauge")
+		fmt.Fprintf(bw, "%s%s %g\n", n+"_twa", promLabels(g.Labels), finite(g.TimeWeightedMean()))
 	}
 	for _, k := range r.StatNames() {
 		s := r.stats[k]

@@ -29,6 +29,7 @@ const (
 	CatTask     = "task"     // whole lifecycle, submit → completion
 	CatReconfig = "reconfig" // partial-reconfiguration port transfer
 	CatDMA      = "dma"      // UNIMEM argument/result streaming
+	CatCoh      = "coh"      // UNIMEM coherence: cacher hand-off, migration
 	CatSMMU     = "smmu"     // doorbell + dual-stage translation
 	CatRoute    = "route"    // UNILOGIC instance-selection decision
 	CatSteal    = "steal"    // work-stealing probes and transfers
@@ -96,10 +97,22 @@ type Tracer struct {
 	// counted in Dropped rather than retained.
 	Cap int
 
-	spans   []Span
-	dropped uint64
-	procs   map[int]string
-	threads map[int]map[int]string
+	spans    []Span
+	dropped  uint64
+	procs    map[int]string
+	threads  map[int]map[int]string
+	counters []CounterSample
+}
+
+// CounterSample is one point on a Perfetto counter track: the series
+// named Name under process PID takes Value at At picoseconds. Counter
+// samples render as "ph":"C" events in the Chrome export, drawn as a
+// stacked-area chart above the process's span lanes.
+type CounterSample struct {
+	Name  string
+	PID   int
+	At    int64
+	Value float64
 }
 
 // NewTracer returns an enabled tracer retaining up to cap spans
@@ -129,6 +142,25 @@ func (t *Tracer) Instant(atPs int64, cat, name string, pid, tid int) {
 		return
 	}
 	t.Add(Span{Name: name, Cat: cat, Start: atPs, End: atPs, PID: pid, TID: tid})
+}
+
+// AddCounter records one counter-track sample. Safe on a nil tracer.
+// Counter samples are not bounded by Cap: they come from the profiler's
+// utilization and sampling passes, which emit O(transitions) points.
+func (t *Tracer) AddCounter(atPs int64, pid int, name string, v float64) {
+	if t == nil {
+		return
+	}
+	t.counters = append(t.counters, CounterSample{Name: name, PID: pid, At: atPs, Value: v})
+}
+
+// CounterSamples returns the recorded counter-track samples in
+// recording order.
+func (t *Tracer) CounterSamples() []CounterSample {
+	if t == nil {
+		return nil
+	}
+	return t.counters
 }
 
 // Len returns the retained span count.
@@ -161,6 +193,14 @@ func (t *Tracer) SetProcessName(pid int, name string) {
 		return
 	}
 	t.procs[pid] = name
+}
+
+// ProcessName returns the label set for pid ("" when unset).
+func (t *Tracer) ProcessName(pid int) string {
+	if t == nil {
+		return ""
+	}
+	return t.procs[pid]
 }
 
 // SetThreadName labels one lane of a process.
@@ -288,6 +328,25 @@ func (t *Tracer) WriteChrome(w io.Writer) error {
 				bw.WriteByte('}')
 			}
 			bw.WriteByte('}')
+		}
+
+		// Counter tracks, sorted by time (stable, so same-time samples
+		// keep recording order) for diffable output.
+		corder := make([]int, len(t.counters))
+		for i := range corder {
+			corder[i] = i
+		}
+		sort.SliceStable(corder, func(a, b int) bool {
+			return t.counters[corder[a]].At < t.counters[corder[b]].At
+		})
+		for _, i := range corder {
+			c := &t.counters[i]
+			sep()
+			bw.WriteString(`{"name":`)
+			jsonEscape(bw, c.Name)
+			ts := strconv.FormatFloat(float64(c.At)/1e6, 'f', -1, 64)
+			val := strconv.FormatFloat(c.Value, 'g', -1, 64)
+			fmt.Fprintf(bw, `,"ph":"C","ts":%s,"pid":%d,"args":{"value":%s}}`, ts, c.PID, val)
 		}
 	}
 	bw.WriteString("]}\n")

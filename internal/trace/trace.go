@@ -53,6 +53,60 @@ func (c *Counter) Add(n uint64) { c.Value += n }
 // Inc increments the counter by one.
 func (c *Counter) Inc() { c.Value++ }
 
+// Gauge records a last-value metric plus a time-weighted mean over the
+// sim clock. Set stores an untimed value (summary gauges written once,
+// at report time); SetAt additionally integrates the previous value over
+// the elapsed picoseconds, so TimeWeightedMean reflects how long each
+// value was held rather than how often it was sampled.
+type Gauge struct {
+	Name   string
+	Labels []Label
+
+	value    float64
+	set      bool
+	timed    bool
+	integral float64 // Σ value·Δt over [firstAt, lastAt], picoseconds
+	firstAt  int64
+	lastAt   int64
+}
+
+// Set stores the current value without advancing the time integral.
+func (g *Gauge) Set(v float64) {
+	g.value = v
+	g.set = true
+}
+
+// SetAt stores the value observed at atPs simulated picoseconds,
+// crediting the previously held value with the elapsed interval.
+// Non-monotonic timestamps only update the last value.
+func (g *Gauge) SetAt(atPs int64, v float64) {
+	if !g.timed {
+		g.firstAt, g.lastAt = atPs, atPs
+		g.timed = true
+	} else if atPs > g.lastAt {
+		g.integral += g.value * float64(atPs-g.lastAt)
+		g.lastAt = atPs
+	}
+	g.value = v
+	g.set = true
+}
+
+// Value returns the last value stored (0 if never set).
+func (g *Gauge) Value() float64 { return g.value }
+
+// Seen reports whether the gauge was ever set.
+func (g *Gauge) Seen() bool { return g.set }
+
+// TimeWeightedMean returns the picosecond-weighted mean of the values
+// held between the first and last SetAt. With no time extent (untimed
+// Set, or a single SetAt) it degenerates to the last value.
+func (g *Gauge) TimeWeightedMean() float64 {
+	if !g.timed || g.lastAt <= g.firstAt {
+		return g.value
+	}
+	return g.integral / float64(g.lastAt-g.firstAt)
+}
+
 // Stat accumulates scalar samples and reports summary statistics without
 // retaining the samples themselves.
 type Stat struct {
@@ -342,6 +396,7 @@ type Registry struct {
 	counters map[string]*Counter
 	stats    map[string]*Stat
 	hists    map[string]*Histogram
+	gauges   map[string]*Gauge
 }
 
 // NewRegistry returns an empty registry.
@@ -350,6 +405,7 @@ func NewRegistry() *Registry {
 		counters: map[string]*Counter{},
 		stats:    map[string]*Stat{},
 		hists:    map[string]*Histogram{},
+		gauges:   map[string]*Gauge{},
 	}
 }
 
@@ -378,6 +434,35 @@ func (r *Registry) CounterTotal(name string) uint64 {
 		}
 	}
 	return total
+}
+
+// Gauge returns the named unlabeled gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge { return r.GaugeL(name) }
+
+// GaugeL returns the gauge with the given labels, creating it on first
+// use.
+func (r *Registry) GaugeL(name string, labels ...Label) *Gauge {
+	k := labelKey(name, labels)
+	g, ok := r.gauges[k]
+	if !ok {
+		g = &Gauge{Name: name, Labels: labels}
+		r.gauges[k] = g
+	}
+	return g
+}
+
+// FindGauge returns the gauge stored under key (name plus rendered
+// labels), or nil — a lookup that never creates.
+func (r *Registry) FindGauge(key string) *Gauge { return r.gauges[key] }
+
+// GaugeNames returns all gauge keys (name plus labels), sorted.
+func (r *Registry) GaugeNames() []string {
+	names := make([]string, 0, len(r.gauges))
+	for n := range r.gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // Stat returns the named unlabeled stat, creating it on first use.

@@ -212,13 +212,31 @@ func (s *Space) SetCacher(addr uint64, node int, done func()) {
 		return
 	}
 	// Write the dirty lines back to the owner before handing off.
+	start := s.Engine().Now()
 	wg := sim.NewWaitGroup(s.Engine(), dirty)
 	for i := 0; i < dirty; i++ {
 		s.net.Send(old, p.owner, mem.LineBytes, noc.Store, func() {
 			s.workers[p.owner].dram.Access(mem.LineBytes, wg.DoneOne)
 		})
 	}
-	wg.Wait(finish)
+	wg.Wait(func() {
+		s.observeCoh(old, "cacher-move", start, int64(dirty*mem.LineBytes))
+		finish()
+	})
+}
+
+// observeCoh records one completed timed coherence action (a cacher
+// hand-off writeback or a page migration) as a coherence span and a
+// latency-histogram sample — the UNIMEM/coherence category of the
+// profiler's critical-path attribution.
+func (s *Space) observeCoh(node int, name string, start sim.Time, bytes int64) {
+	now := s.Engine().Now()
+	s.Trace.Add(trace.Span{Name: name, Cat: trace.CatCoh,
+		Start: int64(start), End: int64(now),
+		PID: trace.WorkerPID(node), TID: trace.TIDDMA, Arg: bytes})
+	if s.reg != nil {
+		trace.LatencyHistogram(s.reg, "lat.coh_us").Observe((now - start).Micros())
+	}
 }
 
 // Read performs a load of size bytes at addr by worker node, delivering
@@ -460,12 +478,15 @@ func (s *Space) MigratePage(addr uint64, newOwner int, done func()) {
 		return
 	}
 	s.count("migrations")
+	start := s.Engine().Now()
+	origOwner := p.owner
 	s.SetCacher(addr, p.owner, func() {
 		old := p.owner
 		s.net.DMATransfer(old, newOwner, s.cfg.PageBytes, noc.DefaultDMAConfig(), func() {
 			s.workers[newOwner].dram.Access(s.cfg.PageBytes, func() {
 				p.owner = newOwner
 				p.cacher = newOwner
+				s.observeCoh(origOwner, "migrate", start, int64(s.cfg.PageBytes))
 				if done != nil {
 					done()
 				}
