@@ -2,9 +2,9 @@
 
 GOFILES := $(shell find . -name '*.go' -not -path './.git/*')
 
-.PHONY: check fmt vet build test race bench bench-json bench-smoke experiments
+.PHONY: check fmt vet build test race bench bench-json bench-smoke experiments scale-smoke race-soak
 
-check: fmt vet build race experiments bench-smoke
+check: fmt vet build race experiments bench-smoke scale-smoke
 
 fmt:
 	@out=$$(gofmt -l $(GOFILES)); \
@@ -40,3 +40,13 @@ bench-smoke:
 # exercising the pool, per-point timeouts and multi-ID selection.
 experiments:
 	go run ./cmd/ecobench -run E2,E3,E4,E10,A1 -parallel 0 -timeout 60s > /dev/null
+
+# Flyweight weak-scaling gate: one 131k-worker machine must construct
+# and serve a sparse burst under a hard heap budget.
+scale-smoke:
+	go test -run TestScaleSmoke100k -v .
+
+# Longer -race pass: soak + determinism property sweeps with the race
+# detector on, for CI's slow lane.
+race-soak:
+	go test -race -run 'TestSoak|TestKernelDeterminism|TestScaleSmoke' -count 2 ./...

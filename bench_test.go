@@ -11,6 +11,8 @@ package ecoscale_test
 
 import (
 	"context"
+	"fmt"
+	"runtime"
 	"testing"
 
 	"ecoscale"
@@ -106,9 +108,7 @@ func BenchmarkMachineEndToEnd(b *testing.B) {
 	if _, err := m.DeployKernel(w.Source, w.DefaultDir, 0); err != nil {
 		b.Fatal(err)
 	}
-	for _, s := range m.Scheds {
-		s.Policy = ecoscale.PolicyModel
-	}
+	m.SetPolicy(ecoscale.PolicyModel)
 	rng := sim.NewRNG(7)
 	args, _ := w.Make(4096, rng)
 	st, err := hls.Run(w.Kernel(), args)
@@ -127,7 +127,7 @@ func BenchmarkMachineEndToEnd(b *testing.B) {
 				Bindings: map[string]float64{"N": 4096},
 				SWStats:  st,
 			}
-			m.Scheds[j%len(m.Scheds)].Submit(task, func(rts.Device, error) { done++ })
+			m.Sched(j%m.Workers()).Submit(task, func(rts.Device, error) { done++ })
 		}
 		m.Run()
 	}
@@ -198,3 +198,38 @@ func BenchmarkA4PageSize(b *testing.B)     { benchExperiment(b, "A4") }
 func BenchmarkE16Irregular(b *testing.B) { benchExperiment(b, "E16") }
 
 func BenchmarkA5LinkCapacity(b *testing.B) { benchExperiment(b, "A5") }
+
+// BenchmarkMachineFootprint is the flyweight acceptance series: live
+// heap bytes per Worker of a freshly constructed (untouched) machine at
+// weak-scaling sizes up to 131k Workers. Construction materializes no
+// per-Worker components, so the per-Worker cost is a few index slots;
+// compare across commits to catch O(workers) state creeping back into
+// the spine. `make scale-smoke` checks the same 131k point under a hard
+// memory budget.
+func BenchmarkMachineFootprint(b *testing.B) {
+	for _, shape := range []struct{ wpc, nodes int }{
+		{64, 16},   // 1k workers
+		{128, 128}, // 16k workers
+		{256, 512}, // 131k workers
+	} {
+		workers := shape.wpc * shape.nodes
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			var m *ecoscale.Machine
+			var before, after runtime.MemStats
+			runtime.GC()
+			runtime.ReadMemStats(&before)
+			for i := 0; i < b.N; i++ {
+				m = ecoscale.New(ecoscale.DefaultConfig(shape.wpc, shape.nodes))
+			}
+			runtime.GC()
+			runtime.ReadMemStats(&after)
+			if m.Workers() != workers || m.LiveWorkers() != 0 {
+				b.Fatalf("machine %d workers (%d live), want %d (0 live)",
+					m.Workers(), m.LiveWorkers(), workers)
+			}
+			b.ReportMetric(float64(after.HeapAlloc-before.HeapAlloc)/float64(workers), "bytes/worker")
+			runtime.KeepAlive(m)
+		})
+	}
+}

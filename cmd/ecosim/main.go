@@ -81,6 +81,11 @@ func main() {
 	default:
 		log.Fatalf("unknown balance %q", *balance)
 	}
+	// Reject bad shapes (zero workers, absurd counts) with a usable
+	// message instead of letting construction panic somewhere deep.
+	if err := cfg.Validate(); err != nil {
+		log.Fatal(err)
+	}
 	m := ecoscale.New(cfg)
 	if *diagram {
 		fmt.Println(m.WorkerDiagram(0))
@@ -99,9 +104,7 @@ func main() {
 	default:
 		log.Fatalf("unknown policy %q", *policy)
 	}
-	for _, s := range m.Scheds {
-		s.Policy = pol
-	}
+	m.SetPolicy(pol)
 
 	if _, err := m.DeployKernel(w.Source,
 		ecoscale.Directives{Unroll: *unroll, MemPorts: *ports, Share: 1, Pipeline: true}, 0); err != nil {

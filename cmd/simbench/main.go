@@ -32,7 +32,10 @@ import (
 	"strings"
 	"time"
 
+	"ecoscale"
 	"ecoscale/internal/experiments"
+	"ecoscale/internal/hls"
+	"ecoscale/internal/rts"
 	"ecoscale/internal/runner"
 	"ecoscale/internal/sim"
 	"ecoscale/internal/sim/heapref"
@@ -63,6 +66,23 @@ type report struct {
 	Kernel    []benchResult      `json:"kernel"`
 	Speedup   map[string]float64 `json:"speedup_events_per_sec"`
 	ESuite    *esuiteResult      `json:"esuite,omitempty"`
+	Footprint []footprintResult  `json:"machine_footprint,omitempty"`
+}
+
+// footprintResult is one point of the flyweight weak-scaling series:
+// heap cost of an untouched machine, plus (at the largest size) a sparse
+// E2-style run proving the machine is usable, not just constructible.
+type footprintResult struct {
+	Workers        int     `json:"workers"`
+	ComputeNodes   int     `json:"compute_nodes"`
+	HeapBytes      uint64  `json:"heap_bytes"`
+	BytesPerWorker float64 `json:"bytes_per_worker"`
+	BuildSeconds   float64 `json:"build_seconds"`
+	// Weak-scaling run: Tasks CPU tasks spread across the machine.
+	Tasks       int     `json:"tasks,omitempty"`
+	LiveWorkers int     `json:"live_workers,omitempty"`
+	RunSeconds  float64 `json:"run_seconds,omitempty"`
+	SimEvents   uint64  `json:"sim_events,omitempty"`
 }
 
 type esuiteResult struct {
@@ -226,6 +246,66 @@ func refCancel(n int) uint64 {
 	return e.EventsRun()
 }
 
+// footprintSeries measures untouched-machine heap per Worker at
+// weak-scaling sizes. At the largest size it also runs a sparse burst of
+// CPU tasks (one per ~1000 Workers) and records how few Workers the
+// flyweight machine actually materialized to serve it.
+func footprintSeries(quick bool) []footprintResult {
+	shapes := []struct{ wpc, nodes int }{
+		{64, 16},   // 1k workers
+		{128, 128}, // 16k workers
+		{256, 512}, // 131k workers
+	}
+	if quick {
+		shapes = shapes[:1]
+	}
+	var out []footprintResult
+	for i, sh := range shapes {
+		workers := sh.wpc * sh.nodes
+		runtime.GC()
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		t0 := time.Now()
+		m := ecoscale.New(ecoscale.DefaultConfig(sh.wpc, sh.nodes))
+		build := time.Since(t0)
+		runtime.GC()
+		runtime.ReadMemStats(&m1)
+		fr := footprintResult{
+			Workers:        workers,
+			ComputeNodes:   sh.nodes,
+			HeapBytes:      m1.HeapAlloc - m0.HeapAlloc,
+			BytesPerWorker: float64(m1.HeapAlloc-m0.HeapAlloc) / float64(workers),
+			BuildSeconds:   build.Seconds(),
+		}
+		if i == len(shapes)-1 {
+			m.SetPolicy(ecoscale.PolicyCPU)
+			tasks := workers / 1000
+			if tasks < 8 {
+				tasks = 8
+			}
+			stride := workers / tasks
+			t1 := time.Now()
+			for t := 0; t < tasks; t++ {
+				m.Sched(t*stride).Submit(&rts.Task{
+					Kernel:   "fp",
+					Bindings: map[string]float64{},
+					SWStats:  hls.RunStats{Ops: 4096, Loads: 1024, Stores: 1024},
+				}, nil)
+			}
+			m.Run()
+			fr.Tasks = tasks
+			fr.LiveWorkers = m.LiveWorkers()
+			fr.RunSeconds = time.Since(t1).Seconds()
+			fr.SimEvents = m.Eng.EventsRun()
+		}
+		runtime.KeepAlive(m)
+		out = append(out, fr)
+		fmt.Fprintf(os.Stderr, "footprint workers=%-7d %6.1f B/worker  build %6.1fms  live=%d\n",
+			workers, fr.BytesPerWorker, fr.BuildSeconds*1000, fr.LiveWorkers)
+	}
+	return out
+}
+
 // esuiteWall runs the selected experiments sequentially through the
 // production runner and reports wall time plus completed point count.
 func esuiteWall(ids []string, parallel int) (*esuiteResult, error) {
@@ -306,6 +386,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "%-22s %8.1f ns/ev  %12.0f ev/s  %.3f allocs/ev\n",
 			p.workload, cur.NsPerEvent, cur.EventsPerSec, cur.AllocsPerEvent)
 	}
+
+	rep.Footprint = footprintSeries(*quick)
 
 	if *esuite != "" {
 		es, err := esuiteWall(strings.Split(*esuite, ","), *parallel)

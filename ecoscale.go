@@ -82,7 +82,7 @@ func KernelByName(name string) (Workload, error) { return workload.ByName(name) 
 // NewPlatform returns the OpenCL-style host API for a machine.
 func NewPlatform(m *Machine) *ocl.Platform { return ocl.NewPlatform(m) }
 
-// Scheduling policies for Machine.Scheds[i].Policy.
+// Scheduling policies for Machine.SetPolicy and Machine.Sched(w).Policy.
 var (
 	// PolicyCPU always executes in software.
 	PolicyCPU rts.Policy = rts.PolicyCPU{}

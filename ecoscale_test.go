@@ -21,8 +21,8 @@ func TestBuildMachineShapes(t *testing.T) {
 		if m.Tree.NumComputeNodes() != shape[1] {
 			t.Errorf("shape %v: %d compute nodes", shape, m.Tree.NumComputeNodes())
 		}
-		if len(m.Managers) != m.Workers() || len(m.Scheds) != m.Workers() {
-			t.Error("per-worker components missing")
+		if m.Sched(0).Worker != 0 || m.Manager(m.Workers()-1).Worker != m.Workers()-1 {
+			t.Error("per-worker components miswired")
 		}
 	}
 }
@@ -68,9 +68,7 @@ func TestEndToEndSWHWEquivalence(t *testing.T) {
 				if err := prog.DeployTo(w.Name, 0); err != nil {
 					t.Fatal(err)
 				}
-				for _, s := range m.Scheds {
-					s.Policy = policy
-				}
+				m.SetPolicy(policy)
 				rng := sim.NewRNG(99) // same data both runs
 				args, _ := w.Make(n, rng)
 				k := w.Kernel()
@@ -143,9 +141,7 @@ func TestDaemonDeploysThroughFacade(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Run the kernel a few times in software to heat the history.
-	for _, s := range m.Scheds {
-		s.Policy = ecoscale.PolicyCPU
-	}
+	m.SetPolicy(ecoscale.PolicyCPU)
 	rng := sim.NewRNG(1)
 	args, _ := w.Make(256, rng)
 	b := ctx.CreateBuffer(256, ocl.OnWorker, 0)
@@ -195,9 +191,7 @@ func TestVecAddHWBeatsCPUEndToEnd(t *testing.T) {
 			ecoscale.Directives{Unroll: 8, MemPorts: 16, Share: 1, Pipeline: true}, 0); err != nil {
 			t.Fatal(err)
 		}
-		for _, s := range m.Scheds {
-			s.Policy = policy
-		}
+		m.SetPolicy(policy)
 		n := 16384
 		rng := sim.NewRNG(5)
 		args, _ := w.Make(n, rng)
@@ -212,7 +206,7 @@ func TestVecAddHWBeatsCPUEndToEnd(t *testing.T) {
 		}
 		start := m.Eng.Now()
 		var end sim.Time
-		m.Scheds[0].Submit(task, func(rts.Device, error) { end = m.Eng.Now() - start })
+		m.Sched(0).Submit(task, func(rts.Device, error) { end = m.Eng.Now() - start })
 		m.Run()
 		if end == 0 {
 			t.Fatal("task never completed")

@@ -37,7 +37,7 @@ func main() {
 			ecoscale.Directives{Unroll: 16, MemPorts: 16, Share: 1, Pipeline: true}, 0); err != nil {
 			log.Fatal(err)
 		}
-		s := m.Scheds[0]
+		s := m.Sched(0)
 		s.Policy = policy
 		rng := sim.NewRNG(11)
 		x := m.Space.Alloc(0, 65536*8)

@@ -53,9 +53,7 @@ func main() {
 	}
 
 	run := func(policy rts.Policy, label string) {
-		for _, s := range m.Scheds {
-			s.Policy = policy
-		}
+		m.SetPolicy(policy)
 		bx := ctx.CreateBuffer(n, ocl.OnWorker, 0)
 		by := ctx.CreateBuffer(n, ocl.OnWorker, 0)
 		bx.Poke(x)

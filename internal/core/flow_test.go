@@ -24,7 +24,7 @@ func TestFlowTraceReproducesFig5(t *testing.T) {
 	if _, err := m.DeployKernel(srcScale, hls.DefaultDirectives(), 0); err != nil {
 		t.Fatal(err)
 	}
-	s := m.Scheds[1] // remote caller
+	s := m.Sched(1) // remote caller
 	s.Policy = rts.PolicyHW{}
 	addr := m.Space.Alloc(0, 4096)
 	s.Submit(&rts.Task{

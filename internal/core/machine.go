@@ -4,6 +4,17 @@
 // into Compute Nodes (PGAS domains) joined by a multi-layer interconnect,
 // with one runtime scheduler per Worker, a shared-accelerator domain, a
 // work-stealing cluster and a reconfiguration daemon on top.
+//
+// The machine is a flyweight: construction allocates only the shared
+// spine (engine, topology, interconnect, PGAS directory, domain, cluster,
+// daemon), while per-Worker state — scheduler, fabric, SMMU, accelerator
+// manager, caches — materializes on the first event that touches the
+// Worker. A quiescent Compute Node is a single nil slot until then, so a
+// 100k-Worker machine with a handful of active Workers costs a handful
+// of Workers' worth of memory. Materialization never schedules events or
+// consumes engine randomness, so when a Worker comes into existence has
+// no effect on the event order: a run on a lazy machine is byte-identical
+// to the same run on an eagerly built one.
 package core
 
 import (
@@ -25,6 +36,12 @@ import (
 	"ecoscale/internal/unilogic"
 	"ecoscale/internal/unimem"
 )
+
+// MaxWorkers bounds the machine size Validate accepts. The flyweight
+// model keeps idle Workers at a few bytes each, but the spine still
+// holds O(workers) index slots, so a ceiling catches typos like a
+// misplaced digit in a fan-out before they exhaust memory.
+const MaxWorkers = 1 << 24
 
 // Config describes a machine to build. The zero value is not valid; use
 // DefaultConfig and override.
@@ -87,33 +104,79 @@ func DefaultConfig(workersPerCN, computeNodes int) Config {
 	}
 }
 
-// Machine is a built ECOSCALE system.
-type Machine struct {
-	Cfg      Config
-	Eng      *sim.Engine
-	Tree     *topo.Tree
-	Net      *noc.Network
-	Space    *unimem.Space
-	Meter    *energy.Meter
-	Reg      *trace.Registry
-	Managers []*accel.Manager
-	Domain   *unilogic.Domain
-	Scheds   []*rts.Scheduler
-	Cluster  *rts.Cluster
-	Daemon   *rts.Daemon
-	Comm     *mpi.Comm
-	Flow     *trace.FlowLog
-	Tracer   *trace.Tracer
-	// Prof is the simulation profiler (nil unless Config.Profile).
-	Prof *profile.Profiler
+// Validate checks the configuration and returns a descriptive error for
+// the first problem found, so callers (the CLI in particular) can reject
+// a bad machine shape up front instead of panicking deep in
+// construction.
+func (cfg Config) Validate() error {
+	if len(cfg.FanOut) == 0 {
+		return fmt.Errorf("core: config needs a tree shape (FanOut is empty; e.g. FanOut=[8,4] is 8 workers per compute node, 4 nodes)")
+	}
+	workers := 1
+	for i, f := range cfg.FanOut {
+		if f <= 0 {
+			return fmt.Errorf("core: FanOut[%d] = %d; every tree level needs at least one unit", i, f)
+		}
+		if workers > MaxWorkers/f {
+			return fmt.Errorf("core: FanOut %v implies more than %d workers; reduce the tree shape", cfg.FanOut, MaxWorkers)
+		}
+		workers *= f
+	}
+	if cfg.MappedBytes < 0 {
+		return fmt.Errorf("core: MappedBytes = %d; the identity-mapped window cannot be negative", cfg.MappedBytes)
+	}
+	if cfg.Fabric.Rows <= 0 || cfg.Fabric.Cols <= 0 {
+		return fmt.Errorf("core: fabric grid %dx%d; both dimensions need at least one region", cfg.Fabric.Rows, cfg.Fabric.Cols)
+	}
+	if cfg.SMMU.TLBEntries <= 0 {
+		return fmt.Errorf("core: SMMU needs at least one TLB entry, got %d", cfg.SMMU.TLBEntries)
+	}
+	return nil
 }
 
-// New builds a machine from the configuration.
+// nodeShell is the materialized state of one Compute Node. A quiescent
+// node has no shell at all; a live node's shell still holds nil slots
+// for its untouched Workers.
+type nodeShell struct {
+	scheds []*rts.Scheduler
+	mgrs   []*accel.Manager
+}
+
+// Machine is a built ECOSCALE system.
+type Machine struct {
+	Cfg     Config
+	Eng     *sim.Engine
+	Tree    *topo.Tree
+	Net     *noc.Network
+	Space   *unimem.Space
+	Meter   *energy.Meter
+	Reg     *trace.Registry
+	Domain  *unilogic.Domain
+	Cluster *rts.Cluster
+	Daemon  *rts.Daemon
+	Comm    *mpi.Comm
+	Flow    *trace.FlowLog
+	Tracer  *trace.Tracer
+	// Prof is the simulation profiler (nil unless Config.Profile).
+	Prof *profile.Profiler
+
+	// Flyweight state: shells[cn] is nil while Compute Node cn is
+	// quiescent; census aggregates liveness up the tree.
+	shells    []*nodeShell
+	wpc       int // workers per compute node (FanOut[0])
+	census    *topo.Census
+	smmuTmpl  *smmu.SMMU // shared identity-map page tables (COW)
+	defPolicy rts.Policy // applied to schedulers at materialization
+}
+
+// New builds a machine from the configuration. It panics with the
+// Validate error message on an invalid configuration; callers that want
+// the error instead should Validate first.
 func New(cfg Config) *Machine {
-	if len(cfg.FanOut) == 0 {
-		panic("core: config needs a tree shape")
+	if err := cfg.Validate(); err != nil {
+		panic(err.Error())
 	}
-	if cfg.MappedBytes <= 0 {
+	if cfg.MappedBytes == 0 {
 		cfg.MappedBytes = 16 << 20
 	}
 	m := &Machine{Cfg: cfg}
@@ -125,6 +188,9 @@ func New(cfg Config) *Machine {
 	m.Space = unimem.NewSpace(m.Net, cfg.Unimem, m.Reg)
 
 	workers := m.Tree.NumWorkers()
+	m.wpc = cfg.FanOut[0]
+	m.shells = make([]*nodeShell, m.Tree.NumComputeNodes())
+	m.census = topo.NewCensus(m.Tree)
 	if cfg.Profile {
 		cfg.Trace = true
 		m.Cfg.Trace = true
@@ -133,56 +199,31 @@ func New(cfg Config) *Machine {
 		m.Tracer = trace.NewTracer(cfg.TraceCap)
 		m.Tracer.SetProcessName(trace.PIDSystem, "control plane")
 		m.Tracer.SetThreadName(trace.PIDSystem, 0, "reconfig daemon")
+		// Declare the worker process/thread lanes in O(1); names are
+		// synthesized at export instead of Sprintf'd per Worker here.
+		m.Tracer.SetWorkerLanes(workers)
 		m.Space.Trace = m.Tracer
-		for w := 0; w < workers; w++ {
-			pid := trace.WorkerPID(w)
-			m.Tracer.SetProcessName(pid, fmt.Sprintf("worker %d", w))
-			m.Tracer.SetThreadName(pid, trace.TIDCPU, "cpu")
-			m.Tracer.SetThreadName(pid, trace.TIDFabric, "fabric")
-			m.Tracer.SetThreadName(pid, trace.TIDDMA, "dma")
-		}
 	}
-	for w := 0; w < workers; w++ {
-		fab := fabric.New(m.Eng, cfg.Fabric, m.Meter)
-		fab.Trace = m.Tracer
-		fab.TracePID = trace.WorkerPID(w)
-		fab.Reg = m.Reg
-		mmu := smmu.New(cfg.SMMU)
-		mgr := accel.NewManager(w, fab, m.Space, mmu, m.Meter)
-		mgr.Virtualize = cfg.Virtualize
-		mgr.Compressed = cfg.CompressedBitstreams
-		mgr.Trace = m.Tracer
-		mgr.Reg = m.Reg
-		m.identityMap(mmu, w)
-		m.Managers = append(m.Managers, mgr)
-		// Static power for the Worker's components.
-		m.Meter.AddStatic("static.cpu", cfg.Cost.CPUStatic)
-		m.Meter.AddStatic("static.dram", cfg.Cost.DRAMStatic)
-		m.Meter.AddStatic("static.fpga", cfg.Cost.FPGAStatic)
-	}
+	// Static power for every Worker's components, whether or not the
+	// Worker ever materializes: one coalesced record replayed in the
+	// exact per-worker accumulation order at settle time.
+	m.Meter.AddStaticRepeated(workers,
+		energy.StaticLoad{Category: "static.cpu", Power: cfg.Cost.CPUStatic},
+		energy.StaticLoad{Category: "static.dram", Power: cfg.Cost.DRAMStatic},
+		energy.StaticLoad{Category: "static.fpga", Power: cfg.Cost.FPGAStatic})
 	if cfg.FlowTrace {
 		m.Flow = trace.NewFlowLog(10000)
 		m.Flow.Reg = m.Reg
-		for _, mgr := range m.Managers {
-			mgr.Flow = m.Flow
-		}
 	}
-	m.Domain = unilogic.NewDomain(m.Tree, m.Managers, m.Eng)
+	m.Domain = unilogic.NewDomainFrom(m.Tree, machineManagers{m}, m.Eng)
 	m.Domain.Policy = cfg.Sharing
 	m.Domain.Flow = m.Flow
 	m.Domain.Trace = m.Tracer
 	m.Domain.Reg = m.Reg
-	for w := 0; w < workers; w++ {
-		s := rts.NewScheduler(w, m.Domain, m.Eng, m.Meter)
-		s.Flow = m.Flow
-		s.Trace = m.Tracer
-		s.Reg = m.Reg
-		m.Scheds = append(m.Scheds, s)
-	}
-	m.Cluster = rts.NewCluster(cfg.Balance, m.Scheds, m.Net)
+	m.Cluster = rts.NewClusterFrom(cfg.Balance, machineScheds{m}, m.Net)
 	m.Cluster.Trace = m.Tracer
 	m.Cluster.Reg = m.Reg
-	m.Daemon = rts.NewDaemon(m.Domain, m.Scheds, m.Eng)
+	m.Daemon = rts.NewDaemonFrom(m.Domain, machineScheds{m}, m.Eng)
 	m.Daemon.Trace = m.Tracer
 	m.Daemon.Reg = m.Reg
 	m.Comm = mpi.WorldComm(m.Net)
@@ -190,16 +231,12 @@ func New(cfg Config) *Machine {
 		m.Prof = profile.New(m.Eng, m.Tracer, m.Reg, cfg.ProfileInterval)
 		m.Prof.AddProbe("tasks.queued", trace.PIDSystem, func() float64 {
 			n := 0
-			for _, s := range m.Scheds {
-				n += s.QueueLen()
-			}
+			m.EachSched(func(s *rts.Scheduler) { n += s.QueueLen() })
 			return float64(n)
 		})
 		m.Prof.AddProbe("tasks.outstanding", trace.PIDSystem, func() float64 {
 			n := 0
-			for _, s := range m.Scheds {
-				n += s.Outstanding()
-			}
+			m.EachSched(func(s *rts.Scheduler) { n += s.Outstanding() })
 			return float64(n)
 		})
 		m.Prof.AddProbe("events.pending", trace.PIDSystem, func() float64 {
@@ -209,18 +246,163 @@ func New(cfg Config) *Machine {
 	return m
 }
 
-// identityMap gives the worker's first 32 accelerator streams user-level
-// access to the low MappedBytes of the global space (VA == PA), via
-// stage-1 pages owned by ASID 1 and a stage-2 identity under VMID 1.
-func (m *Machine) identityMap(mmu *smmu.SMMU, worker int) {
-	pages := uint64(m.Cfg.MappedBytes) / mmu.PageSize()
-	for p := uint64(0); p < pages; p++ {
-		mmu.MapStage1(1, p*mmu.PageSize(), p*mmu.PageSize(), smmu.PermRW)
-		mmu.MapStage2(1, p*mmu.PageSize(), p*mmu.PageSize(), smmu.PermRW)
+// shell returns worker w's Compute Node shell, waking the node from its
+// quiescent summary state if needed.
+func (m *Machine) shell(w int) *nodeShell {
+	cn := m.Tree.ComputeNodeOf(w)
+	sh := m.shells[cn]
+	if sh == nil {
+		sh = &nodeShell{
+			scheds: make([]*rts.Scheduler, m.wpc),
+			mgrs:   make([]*accel.Manager, m.wpc),
+		}
+		m.shells[cn] = sh
 	}
-	for sid := worker * 1000; sid < worker*1000+32; sid++ {
-		mmu.BindContext(sid, 1, 1)
+	return sh
+}
+
+// Sched returns worker w's runtime scheduler, materializing it on first
+// touch. Construction schedules no events, so materialization order
+// cannot perturb the simulation.
+func (m *Machine) Sched(w int) *rts.Scheduler {
+	sh := m.shell(w)
+	i := w % m.wpc
+	if sh.scheds[i] == nil {
+		s := rts.NewScheduler(w, m.Domain, m.Eng, m.Meter)
+		s.Flow = m.Flow
+		s.Trace = m.Tracer
+		s.Reg = m.Reg
+		if m.defPolicy != nil {
+			s.Policy = m.defPolicy
+		}
+		m.Cluster.Attach(s)
+		sh.scheds[i] = s
+		m.census.MarkLive(w)
 	}
+	return sh.scheds[i]
+}
+
+// Manager returns worker w's accelerator manager, materializing the
+// Worker's fabric, SMMU and manager on first touch.
+func (m *Machine) Manager(w int) *accel.Manager {
+	sh := m.shell(w)
+	i := w % m.wpc
+	if sh.mgrs[i] == nil {
+		fab := fabric.New(m.Eng, m.Cfg.Fabric, m.Meter)
+		fab.Trace = m.Tracer
+		fab.TracePID = trace.WorkerPID(w)
+		fab.Reg = m.Reg
+		mmu := smmu.New(m.Cfg.SMMU)
+		// Every Worker's identity map is the same page set, so all
+		// Workers share one canonical table copy-on-write; only the
+		// 32 stream bindings are private per Worker.
+		mmu.ShareTablesFrom(m.identityTemplate())
+		for sid := w * 1000; sid < w*1000+32; sid++ {
+			mmu.BindContext(sid, 1, 1)
+		}
+		mgr := accel.NewManager(w, fab, m.Space, mmu, m.Meter)
+		mgr.Virtualize = m.Cfg.Virtualize
+		mgr.Compressed = m.Cfg.CompressedBitstreams
+		mgr.Trace = m.Tracer
+		mgr.Reg = m.Reg
+		mgr.Flow = m.Flow
+		sh.mgrs[i] = mgr
+		m.census.MarkLive(w)
+	}
+	return sh.mgrs[i]
+}
+
+// peekSched returns worker w's scheduler without materializing it.
+func (m *Machine) peekSched(w int) *rts.Scheduler {
+	if sh := m.shells[m.Tree.ComputeNodeOf(w)]; sh != nil {
+		return sh.scheds[w%m.wpc]
+	}
+	return nil
+}
+
+// peekManager returns worker w's manager without materializing it.
+func (m *Machine) peekManager(w int) *accel.Manager {
+	if sh := m.shells[m.Tree.ComputeNodeOf(w)]; sh != nil {
+		return sh.mgrs[w%m.wpc]
+	}
+	return nil
+}
+
+// identityTemplate lazily builds the canonical identity-mapped page
+// tables shared by every Worker's SMMU: the first 32 accelerator streams
+// get user-level access to the low MappedBytes of the global space
+// (VA == PA) via stage-1 pages owned by ASID 1 and a stage-2 identity
+// under VMID 1.
+func (m *Machine) identityTemplate() *smmu.SMMU {
+	if m.smmuTmpl == nil {
+		tmpl := smmu.New(m.Cfg.SMMU)
+		pages := uint64(m.Cfg.MappedBytes) / tmpl.PageSize()
+		for p := uint64(0); p < pages; p++ {
+			tmpl.MapStage1(1, p*tmpl.PageSize(), p*tmpl.PageSize(), smmu.PermRW)
+			tmpl.MapStage2(1, p*tmpl.PageSize(), p*tmpl.PageSize(), smmu.PermRW)
+		}
+		m.smmuTmpl = tmpl
+	}
+	return m.smmuTmpl
+}
+
+// EachSched calls fn for every materialized scheduler in Worker order.
+// Unmaterialized Workers are skipped: they have an empty queue, nothing
+// outstanding and nothing executed, so for aggregation they contribute
+// exactly nothing.
+func (m *Machine) EachSched(fn func(*rts.Scheduler)) {
+	for w := 0; w < m.Workers(); w++ {
+		if s := m.peekSched(w); s != nil {
+			fn(s)
+		}
+	}
+}
+
+// EachManager calls fn for every materialized accelerator manager in
+// Worker order.
+func (m *Machine) EachManager(fn func(*accel.Manager)) {
+	for w := 0; w < m.Workers(); w++ {
+		if mgr := m.peekManager(w); mgr != nil {
+			fn(mgr)
+		}
+	}
+}
+
+// SetPolicy sets the scheduling policy for every Worker: materialized
+// schedulers are updated now, future ones inherit it at materialization.
+func (m *Machine) SetPolicy(p rts.Policy) {
+	m.defPolicy = p
+	m.EachSched(func(s *rts.Scheduler) { s.Policy = p })
+}
+
+// LiveWorkers returns how many Workers have materialized state.
+func (m *Machine) LiveWorkers() int { return m.census.LiveWorkers() }
+
+// Census exposes the liveness census for hierarchy-aware tooling: which
+// Compute Nodes are still quiescent summary records.
+func (m *Machine) Census() *topo.Census { return m.census }
+
+// machineScheds adapts the machine's lazy schedulers to
+// rts.SchedulerProvider.
+type machineScheds struct{ m *Machine }
+
+func (p machineScheds) NumWorkers() int                { return p.m.Workers() }
+func (p machineScheds) Sched(w int) *rts.Scheduler     { return p.m.Sched(w) }
+func (p machineScheds) PeekSched(w int) *rts.Scheduler { return p.m.peekSched(w) }
+
+// machineManagers adapts the machine's lazy managers to
+// unilogic.ManagerProvider.
+type machineManagers struct{ m *Machine }
+
+func (p machineManagers) NumWorkers() int                  { return p.m.Workers() }
+func (p machineManagers) Manager(w int) *accel.Manager     { return p.m.Manager(w) }
+func (p machineManagers) PeekManager(w int) *accel.Manager { return p.m.peekManager(w) }
+func (p machineManagers) FreeRegions(w int) int {
+	if mgr := p.m.peekManager(w); mgr != nil {
+		return mgr.Fab.FreeRegions()
+	}
+	// An untouched fabric is entirely free.
+	return p.m.Cfg.Fabric.Rows * p.m.Cfg.Fabric.Cols
 }
 
 // Workers returns the Worker count.
@@ -284,10 +466,10 @@ func (m *Machine) Report() string {
 	total, remote := m.Domain.Calls()
 	fmt.Fprintf(&b, "accelerator calls: %d (%d remote)\n", total, remote)
 	var cpu, hw uint64
-	for _, s := range m.Scheds {
+	m.EachSched(func(s *rts.Scheduler) {
 		cpu += s.Executed(rts.DeviceCPU)
 		hw += s.Executed(rts.DeviceHW)
-	}
+	})
 	fmt.Fprintf(&b, "tasks: %d on cpu, %d in hardware\n", cpu, hw)
 	if breakdown := m.latencyBreakdown(); breakdown != "" {
 		b.WriteString(breakdown)
@@ -301,6 +483,8 @@ func (m *Machine) Report() string {
 // utilizationBreakdown renders time-weighted busy fractions from the
 // always-on occupancy integrals — no tracing or profiling required —
 // and publishes them as util.* summary gauges in the registry.
+// Unmaterialized Workers report exactly 0, the value their integrals
+// would hold had they been built eagerly and never touched.
 func (m *Machine) utilizationBreakdown() string {
 	now := m.Eng.Now()
 	if now <= 0 {
@@ -311,13 +495,23 @@ func (m *Machine) utilizationBreakdown() string {
 		vals []float64
 	}
 	var groups []group
-	var cpus, hws, ports []float64
-	for _, s := range m.Scheds {
-		cpus = append(cpus, s.CPUUtilization(now))
-		hws = append(hws, s.HWUtilization(now))
-	}
-	for _, mgr := range m.Managers {
-		ports = append(ports, mgr.Fab.PortUtilization(now))
+	workers := m.Workers()
+	cpus := make([]float64, 0, workers)
+	hws := make([]float64, 0, workers)
+	ports := make([]float64, 0, workers)
+	for w := 0; w < workers; w++ {
+		if s := m.peekSched(w); s != nil {
+			cpus = append(cpus, s.CPUUtilization(now))
+			hws = append(hws, s.HWUtilization(now))
+		} else {
+			cpus = append(cpus, 0)
+			hws = append(hws, 0)
+		}
+		if mgr := m.peekManager(w); mgr != nil {
+			ports = append(ports, mgr.Fab.PortUtilization(now))
+		} else {
+			ports = append(ports, 0)
+		}
 	}
 	groups = append(groups,
 		group{"cpu cores", cpus},
@@ -405,8 +599,8 @@ func (m *Machine) latencyBreakdown() string {
 // interconnect, the dual-stage SMMU in front of the reconfigurable
 // block, DRAM, and the external interconnect port.
 func (m *Machine) WorkerDiagram(w int) string {
-	mgr := m.Managers[w]
-	sched := m.Scheds[w]
+	mgr := m.Manager(w)
+	sched := m.Sched(w)
 	fabCfg := mgr.Fab.Config()
 	cacheKiB := m.Cfg.Unimem.CacheCfg.Sets * m.Cfg.Unimem.CacheCfg.Ways * 64 / 1024
 	var b strings.Builder

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"ecoscale/internal/accel"
 	"ecoscale/internal/hls"
 	"ecoscale/internal/rts"
 	"ecoscale/internal/sim"
@@ -28,8 +29,8 @@ func TestNewMachineWiring(t *testing.T) {
 	if m.Comm.Size() != 8 {
 		t.Error("world comm not sized to workers")
 	}
-	for w, mgr := range m.Managers {
-		if mgr.Worker != w {
+	for w := 0; w < m.Workers(); w++ {
+		if mgr := m.Manager(w); mgr.Worker != w {
 			t.Errorf("manager %d mislabeled as %d", w, mgr.Worker)
 		}
 	}
@@ -45,6 +46,116 @@ func TestConfigValidation(t *testing.T) {
 		}
 	}()
 	New(Config{})
+}
+
+func TestConfigValidateErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Config)
+		want string
+	}{
+		{"empty fanout", func(c *Config) { c.FanOut = nil }, "tree shape"},
+		{"zero fanout level", func(c *Config) { c.FanOut = []int{4, 0} }, "FanOut[1] = 0"},
+		{"negative fanout level", func(c *Config) { c.FanOut = []int{-2, 2} }, "FanOut[0] = -2"},
+		{"absurd workers", func(c *Config) { c.FanOut = []int{1 << 12, 1 << 13} }, "more than"},
+		{"negative mapped bytes", func(c *Config) { c.MappedBytes = -1 }, "MappedBytes"},
+		{"empty fabric", func(c *Config) { c.Fabric.Rows = 0 }, "fabric grid"},
+		{"no tlb", func(c *Config) { c.SMMU.TLBEntries = 0 }, "TLB"},
+	}
+	for _, tc := range cases {
+		cfg := DefaultConfig(2, 1)
+		tc.mut(&cfg)
+		err := cfg.Validate()
+		if err == nil {
+			t.Errorf("%s: Validate accepted a bad config", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+	if err := DefaultConfig(4, 2).Validate(); err != nil {
+		t.Errorf("default config rejected: %v", err)
+	}
+}
+
+// The flyweight invariants: construction materializes no Workers, the
+// first touch materializes exactly one, quiescent Compute Nodes stay
+// summary records, and read-only aggregation (Report) wakes nobody.
+func TestMachineLazyMaterialization(t *testing.T) {
+	m := New(DefaultConfig(4, 4))
+	if m.LiveWorkers() != 0 {
+		t.Fatalf("construction materialized %d workers", m.LiveWorkers())
+	}
+	c := m.Census()
+	for cn := 0; cn < m.Tree.NumComputeNodes(); cn++ {
+		if !c.Quiescent(1, cn) {
+			t.Fatalf("compute node %d live before any event", cn)
+		}
+	}
+	s := m.Sched(5)
+	if s.Worker != 5 {
+		t.Fatalf("Sched(5) returned worker %d", s.Worker)
+	}
+	if m.Sched(5) != s {
+		t.Fatal("second touch built a different scheduler")
+	}
+	if m.LiveWorkers() != 1 {
+		t.Fatalf("%d live workers after touching one", m.LiveWorkers())
+	}
+	if c.Quiescent(1, m.Tree.ComputeNodeOf(5)) {
+		t.Error("worker 5's compute node still reads quiescent")
+	}
+	if !c.Quiescent(1, 0) || !c.Quiescent(1, 3) {
+		t.Error("untouched compute nodes lost quiescence")
+	}
+	live := m.LiveWorkers()
+	_ = m.Report()
+	if m.LiveWorkers() != live {
+		t.Errorf("Report materialized workers: %d -> %d", live, m.LiveWorkers())
+	}
+	seen := 0
+	m.EachSched(func(*rts.Scheduler) { seen++ })
+	if seen != 1 {
+		t.Errorf("EachSched visited %d schedulers, want 1", seen)
+	}
+}
+
+// A run on a lazy machine must match the same run on a machine whose
+// Workers were all forced into existence up front: materialization
+// timing must not perturb the event stream, energy, or the report.
+func TestLazyMatchesEagerMaterialization(t *testing.T) {
+	run := func(pretouch bool) (string, sim.Time) {
+		m := New(DefaultConfig(2, 2))
+		if pretouch {
+			for w := 0; w < m.Workers(); w++ {
+				m.Sched(w)
+				m.Manager(w)
+			}
+		}
+		if _, err := m.DeployKernel(srcScale, hls.DefaultDirectives(), 1); err != nil {
+			t.Fatal(err)
+		}
+		addr := m.Space.Alloc(0, 4096)
+		for i := 0; i < 6; i++ {
+			m.Sched(i%3).Submit(&rts.Task{
+				Kernel:   "scale",
+				Bindings: map[string]float64{"N": 256},
+				Reads:    []accel.Span{{Addr: addr, Size: 2048}},
+				SWStats:  hls.RunStats{Ops: 512, Flops: 256, Loads: 256, Stores: 256},
+			}, nil)
+		}
+		end := m.Run()
+		return m.Report(), end
+	}
+	lazyReport, lazyEnd := run(false)
+	eagerReport, eagerEnd := run(true)
+	if lazyEnd != eagerEnd {
+		t.Fatalf("final time diverged: lazy %v, eager %v", lazyEnd, eagerEnd)
+	}
+	if lazyReport != eagerReport {
+		t.Fatalf("reports diverged:\n--- lazy ---\n%s\n--- eager ---\n%s", lazyReport, eagerReport)
+	}
 }
 
 func TestDeployKernelAndReport(t *testing.T) {
@@ -88,8 +199,8 @@ func TestSchedulersShareDomain(t *testing.T) {
 	}
 	// A scheduler on another compute node sees the instance via the
 	// shared domain.
-	for _, s := range m.Scheds {
-		if s.Domain != m.Domain {
+	for w := 0; w < m.Workers(); w++ {
+		if m.Sched(w).Domain != m.Domain {
 			t.Fatal("scheduler not wired to the shared domain")
 		}
 	}

@@ -36,10 +36,10 @@ func runTracedOn(t *testing.T, m *Machine) {
 	}
 	// Route through hardware so the full lifecycle (SMMU, DMA streams,
 	// fabric occupancy) is exercised; worker 1 keeps the CPU path.
-	m.Scheds[0].Policy = rts.PolicyHW{}
+	m.Sched(0).Policy = rts.PolicyHW{}
 	addr := m.Space.Alloc(0, 4096)
 	for i := 0; i < 8; i++ {
-		m.Scheds[i%2].Submit(&rts.Task{
+		m.Sched(i%2).Submit(&rts.Task{
 			Kernel:   "scale",
 			Bindings: map[string]float64{"N": 128},
 			Reads:    []accel.Span{{Addr: addr, Size: 1024}},

@@ -90,13 +90,25 @@ type Meter struct {
 	Model  CostModel
 	byCat  map[string]Joules
 	total  Joules
-	static []staticLoad
+	static []staticBlock
 	eng    *sim.Engine
 }
 
-type staticLoad struct {
-	cat   string
-	power Watts
+// StaticLoad is one constant power draw charged to a category.
+type StaticLoad struct {
+	Category string
+	Power    Watts
+}
+
+// staticBlock is n repetitions of a load pattern registered at one
+// instant. A machine with 100k identical Workers registers its per-worker
+// static draws as a single block instead of 300k slice entries; Settle
+// replays the pattern repetition-by-repetition so the floating-point
+// accumulation order — and therefore every total, bit for bit — matches
+// what n individual AddStatic calls would have produced.
+type staticBlock struct {
+	loads []StaticLoad
+	n     int
 	since sim.Time
 }
 
@@ -119,7 +131,20 @@ func (m *Meter) Charge(category string, e Joules) {
 // AddStatic registers a constant power draw under the category, integrated
 // from the current simulated time until Settle is called.
 func (m *Meter) AddStatic(category string, p Watts) {
-	m.static = append(m.static, staticLoad{cat: category, power: p, since: m.eng.Now()})
+	m.AddStaticRepeated(1, StaticLoad{Category: category, Power: p})
+}
+
+// AddStaticRepeated registers n identical copies of the load pattern in
+// O(len(pattern)) memory. Equivalent to calling AddStatic for each load
+// of each repetition in pattern-major order, including the exact
+// floating-point accumulation order at Settle time.
+func (m *Meter) AddStaticRepeated(n int, pattern ...StaticLoad) {
+	if n <= 0 || len(pattern) == 0 {
+		return
+	}
+	loads := make([]StaticLoad, len(pattern))
+	copy(loads, pattern)
+	m.static = append(m.static, staticBlock{loads: loads, n: n, since: m.eng.Now()})
 }
 
 // Settle integrates all registered static loads up to the current time,
@@ -128,12 +153,16 @@ func (m *Meter) AddStatic(category string, p Watts) {
 func (m *Meter) Settle() {
 	now := m.eng.Now()
 	for i := range m.static {
-		s := &m.static[i]
-		dt := (now - s.since).Seconds()
-		add := Joules(float64(s.power) * dt)
-		m.byCat[s.cat] += add
-		m.total += add
-		s.since = now
+		b := &m.static[i]
+		dt := (now - b.since).Seconds()
+		for rep := 0; rep < b.n; rep++ {
+			for _, l := range b.loads {
+				add := Joules(float64(l.Power) * dt)
+				m.byCat[l.Category] += add
+				m.total += add
+			}
+		}
+		b.since = now
 	}
 }
 

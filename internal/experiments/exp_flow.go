@@ -55,9 +55,7 @@ func scenE14() runner.Scenario {
 							if err := prog.DeployTo(w.Name, 0); err != nil {
 								return runner.Row{}, err
 							}
-							for _, s := range m.Scheds {
-								s.Policy = policy
-							}
+							m.SetPolicy(policy)
 							rng := sim.NewRNG(99)
 							args, _ := w.Make(n, rng)
 							k := w.Kernel()

@@ -51,7 +51,7 @@ func scenE10() runner.Scenario {
 							ecoscale.Directives{Unroll: 16, MemPorts: 16, Share: 1, Pipeline: true}, 0); err != nil {
 							return runner.Row{}, err
 						}
-						s := m.Scheds[0]
+						s := m.Sched(0)
 						s.Policy = policy
 						rng := sim.NewRNG(11)
 						x := m.Space.Alloc(0, 65536*8)
@@ -120,7 +120,10 @@ func scenE11() runner.Scenario {
 							cfg := ecoscale.DefaultConfig(workers, 1)
 							cfg.Balance = kind
 							m := ecoscale.New(cfg)
-							for _, s := range m.Scheds {
+							// Every worker participates in stealing here, so
+							// materialize all of them to pin Cores down.
+							for w := 0; w < m.Workers(); w++ {
+								s := m.Sched(w)
 								s.Policy = rts.PolicyCPU{}
 								s.Cores = 1
 							}

@@ -115,7 +115,7 @@ func (f *Fabric) Load(p *Placement, opt LoadOptions, done func()) {
 	bytes := len(wire)
 	dur := sim.Time(float64(bytes) / f.cfg.PortBytesPerNs * float64(sim.Nanosecond))
 	start := f.eng.Now()
-	f.port.Use(dur, func() {
+	f.ensurePort().Use(dur, func() {
 		f.loads++
 		f.loadedBytes += uint64(bytes)
 		if f.meter != nil {

@@ -15,6 +15,7 @@ import (
 	"sort"
 
 	"ecoscale/internal/energy"
+	"ecoscale/internal/intern"
 	"ecoscale/internal/sim"
 	"ecoscale/internal/trace"
 )
@@ -128,6 +129,11 @@ func (p *Placement) String() string {
 }
 
 // Fabric is one Worker's reconfigurable block.
+//
+// An idle fabric is a flyweight: the configuration is an interned pointer
+// shared by every fabric built from an equal Config, and the region grid,
+// placement table and configuration port are materialized on first use
+// (first Place or Load). An unmaterialized grid reads as entirely free.
 type Fabric struct {
 	// Trace, when non-nil, records reconfiguration spans on lane
 	// (TracePID, TIDFabric).
@@ -138,13 +144,13 @@ type Fabric struct {
 	// latency histogram.
 	Reg *trace.Registry
 
-	cfg        Config
+	cfg        *Config // interned; shared across equal configurations
 	eng        *sim.Engine
 	meter      *energy.Meter
-	grid       [][]int // region → placement id, -1 = free
+	grid       [][]int // region → placement id, -1 = free; nil = all free
 	placements map[int]*Placement
 	nextID     int
-	port       *sim.Resource
+	port       *sim.Resource // nil until the first bitstream load
 
 	loads       uint64
 	loadedBytes uint64
@@ -159,26 +165,45 @@ func New(eng *sim.Engine, cfg Config, meter *energy.Meter) *Fabric {
 	if cfg.PortBytesPerNs <= 0 {
 		panic("fabric: configuration port bandwidth must be positive")
 	}
-	grid := make([][]int, cfg.Rows)
-	for i := range grid {
-		grid[i] = make([]int, cfg.Cols)
-		for j := range grid[i] {
-			grid[i][j] = -1
-		}
+	return &Fabric{cfg: intern.Canonical(cfg), eng: eng, meter: meter}
+}
+
+// materializeGrid allocates the region grid (one flat backing array) and
+// the placement table on first placement activity.
+func (f *Fabric) materializeGrid() {
+	if f.grid != nil {
+		return
 	}
-	return &Fabric{cfg: cfg, eng: eng, meter: meter, grid: grid,
-		placements: map[int]*Placement{},
-		port:       sim.NewResource(eng, "icap", 1)}
+	cells := make([]int, f.cfg.Rows*f.cfg.Cols)
+	for i := range cells {
+		cells[i] = -1
+	}
+	f.grid = make([][]int, f.cfg.Rows)
+	for i := range f.grid {
+		f.grid[i] = cells[i*f.cfg.Cols : (i+1)*f.cfg.Cols]
+	}
+	f.placements = map[int]*Placement{}
+}
+
+// ensurePort materializes the configuration port on the first load.
+func (f *Fabric) ensurePort() *sim.Resource {
+	if f.port == nil {
+		f.port = sim.NewResource(f.eng, "icap", 1)
+	}
+	return f.port
 }
 
 // Config returns the fabric geometry.
-func (f *Fabric) Config() Config { return f.cfg }
+func (f *Fabric) Config() Config { return *f.cfg }
 
 // TotalRegions returns the region count.
 func (f *Fabric) TotalRegions() int { return f.cfg.Rows * f.cfg.Cols }
 
 // FreeRegions returns how many regions are unoccupied.
 func (f *Fabric) FreeRegions() int {
+	if f.grid == nil {
+		return f.TotalRegions()
+	}
 	n := 0
 	for _, row := range f.grid {
 		for _, v := range row {
@@ -262,6 +287,7 @@ func (e *ErrNoSpace) Error() string {
 // Place reserves a minimal bounding box for the module, top-left-first.
 // It performs no reconfiguration; pair it with Load.
 func (f *Fabric) Place(mod Module) (*Placement, error) {
+	f.materializeGrid()
 	need := mod.Req.RegionsNeeded(f.cfg.PerRegion)
 	for _, shape := range boxShapes(need, f.cfg.Rows, f.cfg.Cols) {
 		for row := 0; row <= f.cfg.Rows-shape[0]; row++ {
@@ -337,6 +363,9 @@ func (f *Fabric) Defragment() (moved int) {
 // LargestFreeBox returns the area in regions of the largest free
 // rectangle — the fragmentation metric of E9.
 func (f *Fabric) LargestFreeBox() int {
+	if f.grid == nil {
+		return f.cfg.Rows * f.cfg.Cols
+	}
 	best := 0
 	for rows := 1; rows <= f.cfg.Rows; rows++ {
 		for cols := 1; cols <= f.cfg.Cols; cols++ {
@@ -361,6 +390,9 @@ func (f *Fabric) Loads() uint64 { return f.loads }
 // PortUtilization returns the fraction of [0, now] the configuration
 // (ICAP-class) port spent transferring bitstreams.
 func (f *Fabric) PortUtilization(now sim.Time) float64 {
+	if f.port == nil {
+		return 0
+	}
 	return f.port.Utilization(now)
 }
 

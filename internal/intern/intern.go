@@ -1,0 +1,67 @@
+// Package intern canonicalizes immutable configuration values so that a
+// machine with 100k identical Workers holds one shared copy of each
+// distinct config (fabric shapes, SMMU geometry, resource vectors, NoC
+// link parameters) instead of 100k private copies. Interned pointers are
+// shared across machines and goroutines; callers must treat the pointed-to
+// value as frozen.
+package intern
+
+import "sync"
+
+// canon maps value → *value for comparable types. Keys of different
+// dynamic types never compare equal, so one map serves every T.
+var canon sync.Map
+
+// Canonical returns a pointer to a shared canonical copy of v. Two calls
+// with equal values return the same pointer, so 100k identical Workers
+// referencing their config through Canonical cost one copy total. The
+// returned value must not be mutated.
+func Canonical[T comparable](v T) *T {
+	if p, ok := canon.Load(v); ok {
+		return p.(*T)
+	}
+	p := new(T)
+	*p = v
+	actual, _ := canon.LoadOrStore(v, p)
+	return actual.(*T)
+}
+
+// Slices are not comparable, so slice interning keeps a registry per
+// element type and matches by linear scan — the population is the handful
+// of distinct configurations ever built, not the worker count.
+var (
+	sliceMu  sync.Mutex
+	sliceReg []any
+)
+
+// CanonicalSlice returns a shared canonical copy of s. Equal slices
+// (same length, elementwise ==) intern to the same backing array. The
+// returned slice must not be mutated. A nil or empty slice is returned
+// as-is.
+func CanonicalSlice[T comparable](s []T) []T {
+	if len(s) == 0 {
+		return s
+	}
+	sliceMu.Lock()
+	defer sliceMu.Unlock()
+	for _, cand := range sliceReg {
+		c, ok := cand.([]T)
+		if !ok || len(c) != len(s) {
+			continue
+		}
+		match := true
+		for i := range c {
+			if c[i] != s[i] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return c
+		}
+	}
+	cp := make([]T, len(s))
+	copy(cp, s)
+	sliceReg = append(sliceReg, cp)
+	return cp
+}

@@ -47,6 +47,11 @@ type cacheLine struct {
 
 // Cache is a set-associative write-back, write-allocate cache indexed by
 // line address. It models state only; timing is composed by callers.
+//
+// The line array is materialized on the first Access: an untouched cache
+// costs a few words, so a 100k-worker machine only pays for the caches
+// that traffic actually reaches. An empty and an unmaterialized cache are
+// observationally identical (all lookups miss, nothing to invalidate).
 type Cache struct {
 	cfg   CacheConfig
 	sets  [][]cacheLine
@@ -60,11 +65,19 @@ func NewCache(cfg CacheConfig) *Cache {
 	if cfg.Sets <= 0 || cfg.Ways <= 0 {
 		panic("mem: cache needs positive sets and ways")
 	}
-	sets := make([][]cacheLine, cfg.Sets)
-	for i := range sets {
-		sets[i] = make([]cacheLine, cfg.Ways)
+	return &Cache{cfg: cfg}
+}
+
+// ensureSets materializes the line array, backed by one flat allocation.
+func (c *Cache) ensureSets() {
+	if c.sets != nil {
+		return
 	}
-	return &Cache{cfg: cfg, sets: sets}
+	lines := make([]cacheLine, c.cfg.Sets*c.cfg.Ways)
+	c.sets = make([][]cacheLine, c.cfg.Sets)
+	for i := range c.sets {
+		c.sets[i] = lines[i*c.cfg.Ways : (i+1)*c.cfg.Ways]
+	}
 }
 
 // Config returns the cache geometry.
@@ -86,6 +99,7 @@ func (c *Cache) lineAddr(set int, tag uint64) uint64 {
 // Access performs a read or write of the line containing addr, allocating
 // on miss and returning eviction details.
 func (c *Cache) Access(addr uint64, write bool) AccessResult {
+	c.ensureSets()
 	set, tag := c.index(addr)
 	c.clock++
 	lines := c.sets[set]
@@ -126,6 +140,9 @@ func (c *Cache) Access(addr uint64, write bool) AccessResult {
 
 // Contains reports whether the line holding addr is present.
 func (c *Cache) Contains(addr uint64) bool {
+	if c.sets == nil {
+		return false
+	}
 	set, tag := c.index(addr)
 	for _, l := range c.sets[set] {
 		if l.valid && l.tag == tag {
@@ -138,6 +155,9 @@ func (c *Cache) Contains(addr uint64) bool {
 // Invalidate drops the line holding addr, reporting whether it was present
 // and whether it was dirty (lost-update hazard if the caller ignores it).
 func (c *Cache) Invalidate(addr uint64) (present, dirty bool) {
+	if c.sets == nil {
+		return false, false
+	}
 	set, tag := c.index(addr)
 	lines := c.sets[set]
 	for i := range lines {
@@ -154,7 +174,7 @@ func (c *Cache) Invalidate(addr uint64) (present, dirty bool) {
 // returning how many dirty lines were lost (callers must write those back
 // first for correctness).
 func (c *Cache) InvalidateRange(addr uint64, size int) (dropped, dirty int) {
-	if size <= 0 {
+	if size <= 0 || c.sets == nil {
 		return 0, 0
 	}
 	first := addr / LineBytes

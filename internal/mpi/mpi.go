@@ -59,14 +59,24 @@ func NewComm(net *noc.Network, ranks []int) *Comm {
 		panic("mpi: communicator needs at least one rank")
 	}
 	workers := net.Topology().NumWorkers()
-	state := make([]*rankState, len(ranks))
 	for i, w := range ranks {
 		if w < 0 || w >= workers {
 			panic(fmt.Sprintf("mpi: rank %d bound to invalid worker %d", i, w))
 		}
-		state[i] = &rankState{}
 	}
-	return &Comm{net: net, ranks: append([]int(nil), ranks...), state: state}
+	// Rank mailboxes materialize on first touch, so a world communicator
+	// over 100k Workers costs one nil pointer per rank until ranks talk.
+	return &Comm{net: net, ranks: append([]int(nil), ranks...), state: make([]*rankState, len(ranks))}
+}
+
+// st returns rank's mailbox state, materializing it on first use.
+func (c *Comm) st(rank int) *rankState {
+	s := c.state[rank]
+	if s == nil {
+		s = &rankState{}
+		c.state[rank] = s
+	}
+	return s
 }
 
 // WorldComm binds rank i to Worker i for every Worker.
@@ -116,7 +126,7 @@ func (c *Comm) Send(src, dst, tag int, data []float64, done func()) {
 }
 
 func (c *Comm) deliver(dst int, msg Message) {
-	st := c.state[dst]
+	st := c.st(dst)
 	for i, pr := range st.recvs {
 		if (pr.src == AnySource || pr.src == msg.Source) && (pr.tag == AnyTag || pr.tag == msg.Tag) {
 			st.recvs = append(st.recvs[:i], st.recvs[i+1:]...)
@@ -132,7 +142,7 @@ func (c *Comm) deliver(dst int, msg Message) {
 // immediately if it is already queued).
 func (c *Comm) Recv(rank, src, tag int, fn func(Message)) {
 	c.checkRank(rank)
-	st := c.state[rank]
+	st := c.st(rank)
 	for i, m := range st.inbox {
 		if (src == AnySource || src == m.Source) && (tag == AnyTag || tag == m.Tag) {
 			st.inbox = append(st.inbox[:i], st.inbox[i+1:]...)

@@ -18,6 +18,8 @@ import (
 	"fmt"
 	"sort"
 
+	"ecoscale/internal/intern"
+
 	"ecoscale/internal/energy"
 	"ecoscale/internal/sim"
 	"ecoscale/internal/topo"
@@ -147,6 +149,9 @@ func NewNetwork(eng *sim.Engine, t topo.Topology, cfg Config, meter *energy.Mete
 	if cfg.LinkCapacity <= 0 {
 		cfg.LinkCapacity = 1
 	}
+	// Identically-shaped networks (every Worker port, every same-level
+	// link) share one canonical level table instead of one copy each.
+	cfg.Levels = intern.CanonicalSlice(cfg.Levels)
 	n := &Network{eng: eng, topo: t, cfg: cfg, meter: meter, reg: reg, links: map[linkKey]*sim.Resource{}}
 	if tree, ok := t.(*topo.Tree); ok {
 		n.tree = tree

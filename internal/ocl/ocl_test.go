@@ -176,9 +176,7 @@ func TestEventDependencies(t *testing.T) {
 
 func TestNDRangeSplitsAcrossWorkers(t *testing.T) {
 	ctx := newCtx(t, 4, 1)
-	for _, s := range ctx.Machine().Scheds {
-		s.Policy = rts.PolicyCPU{}
-	}
+	ctx.Machine().SetPolicy(rts.PolicyCPU{})
 	prog, _ := ctx.CreateProgram(workload.VecAdd.Source)
 	if err := prog.Build(hls.DefaultDirectives()); err != nil {
 		t.Fatal(err)
@@ -207,8 +205,9 @@ func TestNDRangeSplitsAcrossWorkers(t *testing.T) {
 		}
 	}
 	// Every worker must have executed a chunk.
-	for w, s := range ctx.Machine().Scheds {
-		if s.Executed(rts.DeviceCPU) == 0 {
+	m := ctx.Machine()
+	for w := 0; w < m.Workers(); w++ {
+		if m.Sched(w).Executed(rts.DeviceCPU) == 0 {
 			t.Errorf("worker %d executed nothing", w)
 		}
 	}
@@ -223,9 +222,7 @@ func TestRuntimeDispatchesToHardware(t *testing.T) {
 	if err := prog.DeployTo("vecadd", 0); err != nil {
 		t.Fatal(err)
 	}
-	for _, s := range ctx.Machine().Scheds {
-		s.Policy = rts.PolicyHW{}
-	}
+	ctx.Machine().SetPolicy(rts.PolicyHW{})
 	n := 512
 	a := ctx.CreateBuffer(n, OnWorker, 0)
 	b := ctx.CreateBuffer(n, OnWorker, 0)
@@ -241,7 +238,7 @@ func TestRuntimeDispatchesToHardware(t *testing.T) {
 	if err := ctx.WaitAll(ev); err != nil {
 		t.Fatal(err)
 	}
-	if ctx.Machine().Scheds[0].Executed(rts.DeviceHW) != 1 {
+	if ctx.Machine().Sched(0).Executed(rts.DeviceHW) != 1 {
 		t.Error("task did not run in hardware")
 	}
 	for i, v := range c.Peek() {

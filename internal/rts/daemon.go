@@ -30,7 +30,7 @@ type Daemon struct {
 	// Reg, when non-nil, receives deploy counters labelled by kernel.
 	Reg *trace.Registry
 
-	scheds  []*Scheduler
+	prov    SchedulerProvider
 	eng     *sim.Engine
 	Deploys uint64
 	running bool
@@ -39,10 +39,16 @@ type Daemon struct {
 // NewDaemon creates a reconfiguration daemon over the cluster's
 // schedulers.
 func NewDaemon(domain *unilogic.Domain, scheds []*Scheduler, eng *sim.Engine) *Daemon {
+	return NewDaemonFrom(domain, staticScheds(scheds), eng)
+}
+
+// NewDaemonFrom creates a reconfiguration daemon over a scheduler
+// provider, which may materialize schedulers lazily.
+func NewDaemonFrom(domain *unilogic.Domain, prov SchedulerProvider, eng *sim.Engine) *Daemon {
 	return &Daemon{
 		Domain: domain, Library: map[string]*hls.Impl{},
 		Period: 100 * sim.Microsecond, MaxPerTick: 1,
-		scheds: scheds, eng: eng,
+		prov: prov, eng: eng,
 	}
 }
 
@@ -79,8 +85,11 @@ func (d *Daemon) Tick() int {
 			continue // already in hardware
 		}
 		var total sim.Time
-		for _, s := range d.scheds {
-			total += s.History.TotalTime(name)
+		// Unmaterialized Workers have empty histories and contribute 0.
+		for w := 0; w < d.prov.NumWorkers(); w++ {
+			if s := d.prov.PeekSched(w); s != nil {
+				total += s.History.TotalTime(name)
+			}
 		}
 		if total > 0 {
 			hots = append(hots, hot{name, total})
@@ -116,11 +125,12 @@ func (d *Daemon) Tick() int {
 }
 
 // coolestWorker picks the fabric with the most free regions (ties to the
-// lowest id).
+// lowest id). Reading free regions must not materialize idle workers, so
+// it goes through the domain's peek-friendly accessor.
 func (d *Daemon) coolestWorker() int {
 	best, bestFree := 0, -1
-	for w := range d.scheds {
-		free := d.Domain.Manager(w).Fab.FreeRegions()
+	for w := 0; w < d.prov.NumWorkers(); w++ {
+		free := d.Domain.FreeRegions(w)
 		if free > bestFree {
 			best, bestFree = w, free
 		}

@@ -83,9 +83,10 @@ type History struct {
 	byKey   map[string][]int
 }
 
-// NewHistory returns an empty history.
+// NewHistory returns an empty history. The index map materializes on the
+// first Add, so an idle Worker's history costs a few words.
 func NewHistory() *History {
-	return &History{byKey: map[string][]int{}}
+	return &History{}
 }
 
 func hkey(kernel string, dev Device) string { return kernel + "/" + dev.String() }
@@ -93,6 +94,9 @@ func hkey(kernel string, dev Device) string { return kernel + "/" + dev.String()
 // Add appends a record.
 func (h *History) Add(r Record) {
 	h.records = append(h.records, r)
+	if h.byKey == nil {
+		h.byKey = map[string][]int{}
+	}
 	k := hkey(r.Kernel, r.Device)
 	h.byKey[k] = append(h.byKey[k], len(h.records)-1)
 }
@@ -335,11 +339,11 @@ type Scheduler struct {
 	queue      []queued
 	cpuRunning int
 	hwRunning  int
-	executed   map[Device]uint64
+	executed   [2]uint64 // indexed by Device
 	waitTime   sim.Time
 	nextID     uint64
 	idleCb     func() // hook for the work-stealing layer
-	wlabel     string // cached strconv of Worker for metric labels
+	wlabel     string // lazily cached strconv of Worker for metric labels
 	opFree     *taskOp
 
 	// Time-weighted occupancy integrals (core-ps / slot-ps), folded on
@@ -356,9 +360,16 @@ func NewScheduler(worker int, domain *unilogic.Domain, eng *sim.Engine, meter *e
 		Policy: PolicyModel{}, CPUModel: hls.DefaultCPUModel(),
 		Meter: meter, Cores: 4, HWInflight: 4,
 		HWOverhead: 2 * sim.Microsecond, eng: eng,
-		executed: map[Device]uint64{},
-		wlabel:   strconv.Itoa(worker),
 	}
+}
+
+// workerLabel returns the Worker id as a string for metric labels,
+// formatted on first use so construction does no naming work.
+func (s *Scheduler) workerLabel() string {
+	if s.wlabel == "" {
+		s.wlabel = strconv.Itoa(s.Worker)
+	}
+	return s.wlabel
 }
 
 // QueueLen returns the local queue depth — the signal Lazy Scheduling
@@ -568,7 +579,7 @@ func taskFinish(op *taskOp, err error) {
 		PID: trace.WorkerPID(s.Worker), TID: trace.TIDCPU, Task: t.ID, Detail: dev.String()})
 	if s.Reg != nil {
 		s.Reg.CounterL("rts.tasks",
-			trace.L("worker", s.wlabel), trace.L("device", dev.String()),
+			trace.L("worker", s.workerLabel()), trace.L("device", dev.String()),
 			trace.L("kernel", t.Kernel), trace.L("policy", s.Policy.Name())).Inc()
 		trace.LatencyHistogram(s.Reg, "lat.task_us").Observe((now - t.submitted).Micros())
 	}

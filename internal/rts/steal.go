@@ -45,20 +45,45 @@ func (k BalanceKind) String() string {
 	}
 }
 
+// SchedulerProvider abstracts access to a machine's per-Worker
+// schedulers so a flyweight machine can materialize them on first touch.
+// An unmaterialized Worker must be observationally identical to a fresh
+// idle one: empty queue, nothing outstanding, nothing executed.
+type SchedulerProvider interface {
+	// NumWorkers returns the cluster's Worker count.
+	NumWorkers() int
+	// Sched returns worker w's scheduler, materializing it if needed.
+	Sched(w int) *Scheduler
+	// PeekSched returns worker w's scheduler, or nil when the worker has
+	// not been materialized. It must not materialize anything.
+	PeekSched(w int) *Scheduler
+}
+
+// staticScheds adapts an eager scheduler slice to SchedulerProvider.
+type staticScheds []*Scheduler
+
+func (p staticScheds) NumWorkers() int            { return len(p) }
+func (p staticScheds) Sched(w int) *Scheduler     { return p[w] }
+func (p staticScheds) PeekSched(w int) *Scheduler { return p[w] }
+
 // Cluster couples the per-Worker schedulers with a stealing strategy.
 type Cluster struct {
-	Kind       BalanceKind
-	Schedulers []*Scheduler
+	Kind BalanceKind
 	// Trace, when non-nil, records probe and transfer events.
 	Trace *trace.Tracer
 	// Reg, when non-nil, receives steal counters.
 	Reg *trace.Registry
 
-	net        *noc.Network
-	eng        *sim.Engine
-	ctrlBytes  int
-	nextProbe  []int // per-worker round-robin cursor for Lazy
-	lastVictim []int // per-worker last successful steal source (-1 none)
+	prov      SchedulerProvider
+	net       *noc.Network
+	eng       *sim.Engine
+	ctrlBytes int
+	// Lazy-probe state lives in maps keyed by thief Worker, so 100k idle
+	// Workers that never steal cost nothing. A missing nextProbe entry
+	// reads as cursor 0 and a missing lastVictim entry as -1 — exactly
+	// the eager initial state.
+	nextProbe  map[int]int // per-worker round-robin cursor for Lazy
+	lastVictim map[int]int // per-worker last successful steal source
 
 	StealMsgs  uint64 // monitoring + transfer messages sent
 	Steals     uint64 // successful task migrations
@@ -67,26 +92,45 @@ type Cluster struct {
 
 // NewCluster wires schedulers into a balancing cluster.
 func NewCluster(kind BalanceKind, scheds []*Scheduler, net *noc.Network) *Cluster {
-	c := &Cluster{
-		Kind: kind, Schedulers: scheds, net: net, eng: net.Engine(),
-		ctrlBytes: 16, nextProbe: make([]int, len(scheds)),
-		lastVictim: make([]int, len(scheds)),
-	}
-	for i := range c.lastVictim {
-		c.lastVictim[i] = -1
-	}
+	c := NewClusterFrom(kind, staticScheds(scheds), net)
 	for _, s := range scheds {
-		s := s
-		if kind != NoBalance {
-			s.idleCb = func() { c.onIdle(s) }
-		}
+		c.Attach(s)
 	}
 	return c
 }
 
+// NewClusterFrom wires a scheduler provider into a balancing cluster.
+// The caller must Attach each scheduler as it comes into existence so
+// idle events reach the balancer.
+func NewClusterFrom(kind BalanceKind, prov SchedulerProvider, net *noc.Network) *Cluster {
+	return &Cluster{
+		Kind: kind, prov: prov, net: net, eng: net.Engine(),
+		ctrlBytes: 16,
+	}
+}
+
+// Attach hooks a scheduler's idle callback to the balancer. It is a
+// no-op under NoBalance.
+func (c *Cluster) Attach(s *Scheduler) {
+	if c.Kind != NoBalance {
+		s.idleCb = func() { c.onIdle(s) }
+	}
+}
+
+// NumWorkers returns the cluster's Worker count.
+func (c *Cluster) NumWorkers() int { return c.prov.NumWorkers() }
+
+// queueLen reads worker w's queue depth without materializing it.
+func (c *Cluster) queueLen(w int) int {
+	if s := c.prov.PeekSched(w); s != nil {
+		return s.QueueLen()
+	}
+	return 0
+}
+
 // Submit enqueues a task on worker w's scheduler.
 func (c *Cluster) Submit(w int, t *Task, done func(Device, error)) {
-	c.Schedulers[w].Submit(t, done)
+	c.prov.Sched(w).Submit(t, done)
 }
 
 // onIdle fires when a Worker drains completely.
@@ -102,7 +146,7 @@ func (c *Cluster) onIdle(s *Scheduler) {
 // pollAll queries every other Worker's queue depth, then steals from the
 // deepest.
 func (c *Cluster) pollAll(thief *Scheduler) {
-	n := len(c.Schedulers)
+	n := c.prov.NumWorkers()
 	if n < 2 {
 		return
 	}
@@ -112,14 +156,14 @@ func (c *Cluster) pollAll(thief *Scheduler) {
 		Start: int64(c.eng.Now()), End: int64(c.eng.Now()),
 		PID: trace.WorkerPID(thief.Worker), TID: trace.TIDCPU, Arg: int64(n - 1)})
 	wg := sim.NewWaitGroup(c.eng, n-1)
-	for w := range c.Schedulers {
+	for w := 0; w < n; w++ {
 		if w == thief.Worker {
 			continue
 		}
 		w := w
 		c.StealMsgs += 2 // status request + response
 		c.net.RoundTrip(thief.Worker, w, c.ctrlBytes, c.ctrlBytes, noc.Sync, func() {
-			depths = append(depths, depth{w, c.Schedulers[w].QueueLen()})
+			depths = append(depths, depth{w, c.queueLen(w)})
 			wg.DoneOne()
 		})
 	}
@@ -138,7 +182,7 @@ func (c *Cluster) pollAll(thief *Scheduler) {
 			c.FailProbes++
 			return
 		}
-		c.transfer(c.Schedulers[best], thief)
+		c.transfer(c.prov.Sched(best), thief)
 	})
 }
 
@@ -150,25 +194,43 @@ func (c *Cluster) pollAll(thief *Scheduler) {
 // O(P) messages on every idle event.
 func (c *Cluster) probeOne(thief *Scheduler) {
 	attempts := 4
-	if n := len(c.Schedulers) - 1; attempts > n {
+	if n := c.prov.NumWorkers() - 1; attempts > n {
 		attempts = n
 	}
 	c.probeNext(thief, attempts)
 }
 
+// lastVictimOf reads the thief's remembered victim; absent means -1.
+func (c *Cluster) lastVictimOf(w int) int {
+	if v, ok := c.lastVictim[w]; ok {
+		return v
+	}
+	return -1
+}
+
+func (c *Cluster) setLastVictim(w, v int) {
+	if c.lastVictim == nil {
+		c.lastVictim = map[int]int{}
+	}
+	c.lastVictim[w] = v
+}
+
 func (c *Cluster) probeNext(thief *Scheduler, attempts int) {
-	n := len(c.Schedulers)
+	n := c.prov.NumWorkers()
 	if n < 2 || attempts <= 0 {
 		return
 	}
 	// Prefer the last Worker that had surplus work; fall back to the
 	// round-robin ring.
-	victim := c.lastVictim[thief.Worker]
+	victim := c.lastVictimOf(thief.Worker)
 	if victim < 0 || victim == thief.Worker {
 		v := c.nextProbe[thief.Worker]
 		victim = v % n
 		if victim == thief.Worker {
 			victim = (victim + 1) % n
+		}
+		if c.nextProbe == nil {
+			c.nextProbe = map[int]int{}
 		}
 		c.nextProbe[thief.Worker] = victim + 1
 	}
@@ -180,14 +242,14 @@ func (c *Cluster) probeNext(thief *Scheduler, attempts int) {
 		if thief.Outstanding() > 0 {
 			return
 		}
-		if c.Schedulers[victim].QueueLen() == 0 {
+		if c.queueLen(victim) == 0 {
 			c.FailProbes++
-			c.lastVictim[thief.Worker] = -1
+			c.setLastVictim(thief.Worker, -1)
 			c.probeNext(thief, attempts-1)
 			return
 		}
-		c.lastVictim[thief.Worker] = victim
-		c.transfer(c.Schedulers[victim], thief)
+		c.setLastVictim(thief.Worker, victim)
+		c.transfer(c.prov.Sched(victim), thief)
 	})
 }
 
@@ -202,7 +264,7 @@ func (c *Cluster) transfer(victim, thief *Scheduler) {
 	c.StealMsgs++
 	if c.Reg != nil {
 		c.Reg.CounterL("rts.steals",
-			trace.L("thief", thief.wlabel), trace.L("victim", victim.wlabel)).Inc()
+			trace.L("thief", thief.workerLabel()), trace.L("victim", victim.workerLabel())).Inc()
 	}
 	start := c.eng.Now()
 	c.net.Send(victim.Worker, thief.Worker, 64, noc.Store, func() {
@@ -214,11 +276,14 @@ func (c *Cluster) transfer(victim, thief *Scheduler) {
 	})
 }
 
-// TotalExecuted sums completed tasks across the cluster.
+// TotalExecuted sums completed tasks across the cluster. Unmaterialized
+// Workers have executed nothing by definition.
 func (c *Cluster) TotalExecuted() uint64 {
 	var n uint64
-	for _, s := range c.Schedulers {
-		n += s.Executed(DeviceCPU) + s.Executed(DeviceHW)
+	for w := 0; w < c.prov.NumWorkers(); w++ {
+		if s := c.prov.PeekSched(w); s != nil {
+			n += s.Executed(DeviceCPU) + s.Executed(DeviceHW)
+		}
 	}
 	return n
 }

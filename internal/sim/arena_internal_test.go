@@ -1,0 +1,78 @@
+package sim
+
+import "testing"
+
+// Mass cancellation must return every slot to the free list, and the
+// next wave of schedules must recycle those slots instead of growing the
+// arena — the invariant the flyweight machine leans on when a burst of
+// speculative work is torn down.
+func TestArenaRecyclesAfterMassCancellation(t *testing.T) {
+	e := NewEngine(1)
+	const n = 10000
+	ids := make([]EventID, 0, n)
+	for i := 0; i < n; i++ {
+		ids = append(ids, e.At(Time(i+1), func() {}))
+	}
+	grown := len(e.arena)
+	if grown < n {
+		t.Fatalf("arena holds %d slots for %d events", grown, n)
+	}
+	for _, id := range ids {
+		if !e.Cancel(id) {
+			t.Fatal("live event failed to cancel")
+		}
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("%d events pending after mass cancellation", e.Pending())
+	}
+	if len(e.free) != grown {
+		t.Fatalf("free list holds %d of %d slots after mass cancellation", len(e.free), grown)
+	}
+	// Second wave: same volume, zero arena growth.
+	for i := 0; i < n; i++ {
+		e.At(Time(i+1), func() {})
+	}
+	if len(e.arena) != grown {
+		t.Errorf("arena grew from %d to %d slots on recycled load", grown, len(e.arena))
+	}
+	// The n stale heap entries from the cancelled generation must be
+	// discarded without firing.
+	e.RunUntilIdle()
+	if e.EventsRun() != n {
+		t.Errorf("ran %d events, want %d (stale entries fired?)", e.EventsRun(), n)
+	}
+	if e.Pending() != 0 {
+		t.Errorf("%d events still pending after drain", e.Pending())
+	}
+}
+
+// Interleaved cancel/schedule churn must keep the free list and live
+// count consistent: every generation bump invalidates exactly its own
+// handle.
+func TestArenaChurnKeepsHandlesIsolated(t *testing.T) {
+	e := NewEngine(1)
+	var stale []EventID
+	for round := 0; round < 50; round++ {
+		ids := make([]EventID, 0, 100)
+		for i := 0; i < 100; i++ {
+			ids = append(ids, e.At(e.Now()+Time(i+1), func() {}))
+		}
+		// Cancel the even half; their handles go stale.
+		for i := 0; i < len(ids); i += 2 {
+			if !e.Cancel(ids[i]) {
+				t.Fatal("cancel of live event failed")
+			}
+			stale = append(stale, ids[i])
+		}
+		e.Run(e.Now() + 200)
+	}
+	for _, id := range stale {
+		if e.Cancel(id) {
+			t.Fatal("stale handle cancelled a recycled slot")
+		}
+	}
+	e.RunUntilIdle()
+	if e.Pending() != 0 {
+		t.Errorf("%d events pending after drain", e.Pending())
+	}
+}

@@ -55,6 +55,12 @@ func (k refKernel) Pending() int                   { return k.e.Pending() }
 // the rng is consulted inside fired events, so any ordering divergence
 // between two kernels immediately desynchronizes the traces.
 func workloadTrace(k kernelAPI, seed int64) (sim.Time, uint64, uint64) {
+	return workloadTraceN(k, seed, 3000)
+}
+
+// workloadTraceN is workloadTrace with an explicit spawn budget, so the
+// property can also be checked at arena-stressing scales.
+func workloadTraceN(k kernelAPI, seed int64, budget int) (sim.Time, uint64, uint64) {
 	rng := rand.New(rand.NewSource(seed))
 	h := fnv.New64a()
 	var buf [8]byte
@@ -72,7 +78,7 @@ func workloadTrace(k kernelAPI, seed int64) (sim.Time, uint64, uint64) {
 		record(tag)
 		record(uint64(k.Now()))
 		// Fan out children while the budget lasts.
-		for c := rng.Intn(3); c > 0 && spawned < 3000; c-- {
+		for c := rng.Intn(3); c > 0 && spawned < budget; c-- {
 			spawned++
 			child := uint64(spawned)
 			cancels = append(cancels, k.At(k.Now()+sim.Time(rng.Intn(50)), func() { spawn(child) }))
@@ -105,6 +111,24 @@ func TestKernelDeterminismVsHeapRef(t *testing.T) {
 		rt, rr, rh := workloadTrace(refKernel{heapref.NewEngine()}, seed)
 		if nt != rt || nr != rr || nh != rh {
 			t.Fatalf("seed %d: kernels diverged: new=(t=%v run=%d hash=%x) ref=(t=%v run=%d hash=%x)",
+				seed, nt, nr, nh, rt, rr, rh)
+		}
+	}
+}
+
+// The same property at a 10x spawn budget, where the arena has grown
+// through several reallocation waves and the free list cycles thousands
+// of slots — the regime a large flyweight machine's event kernel lives
+// in. Fewer seeds keep the test quick.
+func TestKernelDeterminismVsHeapRefLarge(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large determinism sweep skipped in -short")
+	}
+	for seed := int64(1); seed <= 5; seed++ {
+		nt, nr, nh := workloadTraceN(newKernel{sim.NewEngine(1)}, seed, 30000)
+		rt, rr, rh := workloadTraceN(refKernel{heapref.NewEngine()}, seed, 30000)
+		if nt != rt || nr != rr || nh != rh {
+			t.Fatalf("seed %d: kernels diverged at 30k spawns: new=(t=%v run=%d hash=%x) ref=(t=%v run=%d hash=%x)",
 				seed, nt, nr, nh, rt, rr, rh)
 		}
 	}

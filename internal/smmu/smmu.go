@@ -138,10 +138,18 @@ type tlbEntry struct {
 type FaultHandler func(f *Fault) bool
 
 // SMMU is a dual-stage system MMU with a unified TLB.
+//
+// Two flyweight mechanisms keep an idle SMMU small: the TLB array is
+// allocated on the first translation (an empty and an absent TLB behave
+// identically), and the stage-1/stage-2 page tables can be shared
+// copy-on-write between instances via ShareTablesFrom, so 100k Workers
+// with identical identity maps reference one table set until one of them
+// installs a private mapping.
 type SMMU struct {
 	cfg      Config
 	stage1   map[int]map[uint64]entry // asid → vaPage → (ipaPage, perm)
 	stage2   map[int]map[uint64]entry // vmid → ipaPage → (paPage, perm)
+	shared   bool                     // tables borrowed from another SMMU
 	contexts map[int]context          // streamID → bank
 	tlb      []tlbEntry
 	clock    uint64
@@ -162,8 +170,41 @@ func New(cfg Config) *SMMU {
 		stage1:   map[int]map[uint64]entry{},
 		stage2:   map[int]map[uint64]entry{},
 		contexts: map[int]context{},
-		tlb:      make([]tlbEntry, cfg.TLBEntries),
 	}
+}
+
+// ShareTablesFrom points this SMMU's stage-1 and stage-2 tables at src's,
+// copy-on-write: lookups read the shared tables directly, and the first
+// local Map/Unmap takes a private deep copy. Context bindings and the TLB
+// stay private. src must use the same page geometry.
+func (s *SMMU) ShareTablesFrom(src *SMMU) {
+	if src.cfg.PageBits != s.cfg.PageBits {
+		panic("smmu: table sharing requires identical page geometry")
+	}
+	s.stage1 = src.stage1
+	s.stage2 = src.stage2
+	s.shared = true
+}
+
+// ownTables takes a private deep copy of shared tables before a mutation.
+func (s *SMMU) ownTables() {
+	if !s.shared {
+		return
+	}
+	copyTables := func(t map[int]map[uint64]entry) map[int]map[uint64]entry {
+		out := make(map[int]map[uint64]entry, len(t))
+		for id, m := range t {
+			cp := make(map[uint64]entry, len(m))
+			for k, v := range m {
+				cp[k] = v
+			}
+			out[id] = cp
+		}
+		return out
+	}
+	s.stage1 = copyTables(s.stage1)
+	s.stage2 = copyTables(s.stage2)
+	s.shared = false
 }
 
 // PageSize returns the translation granule in bytes.
@@ -190,6 +231,7 @@ func (s *SMMU) MapStage1(asid int, va, ipa uint64, perm Perm) {
 	if s.offOf(va) != 0 || s.offOf(ipa) != 0 {
 		panic("smmu: stage-1 mapping must be page aligned")
 	}
+	s.ownTables()
 	m, ok := s.stage1[asid]
 	if !ok {
 		m = map[uint64]entry{}
@@ -207,6 +249,7 @@ func (s *SMMU) MapStage2(vmid int, ipa, pa uint64, perm Perm) {
 	if s.offOf(ipa) != 0 || s.offOf(pa) != 0 {
 		panic("smmu: stage-2 mapping must be page aligned")
 	}
+	s.ownTables()
 	m, ok := s.stage2[vmid]
 	if !ok {
 		m = map[uint64]entry{}
@@ -231,6 +274,7 @@ func (s *SMMU) MapIdentity2(vmid int, base uint64, pages int, perm Perm) {
 
 // UnmapStage1 removes a VA mapping.
 func (s *SMMU) UnmapStage1(asid int, va uint64) {
+	s.ownTables()
 	if m, ok := s.stage1[asid]; ok {
 		delete(m, s.pageOf(va))
 	}
@@ -305,7 +349,10 @@ func (s *SMMU) Translate(streamID int, va uint64, access Perm) (Result, error) {
 		s.faults++
 		return Result{}, &Fault{Kind: FaultPermissionStage2, StreamID: streamID, VA: va}
 	}
-	// Fill TLB (LRU victim).
+	// Fill TLB (LRU victim), materializing it on the first fill.
+	if s.tlb == nil {
+		s.tlb = make([]tlbEntry, s.cfg.TLBEntries)
+	}
 	victim := 0
 	for i := range s.tlb {
 		if !s.tlb[i].valid {

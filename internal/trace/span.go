@@ -102,6 +102,12 @@ type Tracer struct {
 	procs    map[int]string
 	threads  map[int]map[int]string
 	counters []CounterSample
+	// workerLanes declares the standard Worker lane layout for workers
+	// 0..workerLanes-1 without storing per-worker strings: process
+	// WorkerPID(w) named "worker w" with cpu/fabric/dma lanes. Names are
+	// synthesized at export, so construction costs O(1) regardless of
+	// machine size. Explicit SetProcessName/SetThreadName entries win.
+	workerLanes int
 }
 
 // CounterSample is one point on a Perfetto counter track: the series
@@ -195,12 +201,33 @@ func (t *Tracer) SetProcessName(pid int, name string) {
 	t.procs[pid] = name
 }
 
-// ProcessName returns the label set for pid ("" when unset).
+// ProcessName returns the label set for pid ("" when unset). Worker pids
+// declared via SetWorkerLanes report their synthesized "worker N" name.
 func (t *Tracer) ProcessName(pid int) string {
 	if t == nil {
 		return ""
 	}
-	return t.procs[pid]
+	if n, ok := t.procs[pid]; ok {
+		return n
+	}
+	if w := pid - 1; w >= 0 && w < t.workerLanes {
+		return "worker " + strconv.Itoa(w)
+	}
+	return ""
+}
+
+// SetWorkerLanes declares the standard lane layout for workers 0..n-1:
+// process WorkerPID(w) named "worker w" with "cpu", "fabric" and "dma"
+// lanes (TIDCPU/TIDFabric/TIDDMA). Unlike per-worker SetProcessName
+// calls, this costs O(1) memory and no string formatting — the names are
+// synthesized when the trace is exported.
+func (t *Tracer) SetWorkerLanes(n int) {
+	if t == nil {
+		return
+	}
+	if n > t.workerLanes {
+		t.workerLanes = n
+	}
 }
 
 // SetThreadName labels one lane of a process.
@@ -253,32 +280,55 @@ func (t *Tracer) WriteChrome(w io.Writer) error {
 
 	if t != nil {
 		// Metadata: process and thread names, sorted for determinism.
-		pids := make([]int, 0, len(t.procs))
-		for pid := range t.procs {
+		// Worker lanes declared via SetWorkerLanes are synthesized here
+		// and merged with explicitly named ones; explicit names win, so
+		// the export is byte-identical to per-worker SetProcessName calls.
+		procs := make(map[int]string, len(t.procs)+t.workerLanes)
+		threads := make(map[int]map[int]string, len(t.threads)+t.workerLanes)
+		for w := 0; w < t.workerLanes; w++ {
+			pid := WorkerPID(w)
+			procs[pid] = "worker " + strconv.Itoa(w)
+			threads[pid] = map[int]string{TIDCPU: "cpu", TIDFabric: "fabric", TIDDMA: "dma"}
+		}
+		for pid, name := range t.procs {
+			procs[pid] = name
+		}
+		for pid, lanes := range t.threads {
+			merged := threads[pid]
+			if merged == nil {
+				merged = map[int]string{}
+				threads[pid] = merged
+			}
+			for tid, name := range lanes {
+				merged[tid] = name
+			}
+		}
+		pids := make([]int, 0, len(procs))
+		for pid := range procs {
 			pids = append(pids, pid)
 		}
 		sort.Ints(pids)
 		for _, pid := range pids {
 			sep()
 			fmt.Fprintf(bw, `{"name":"process_name","ph":"M","pid":%d,"tid":0,"args":{"name":`, pid)
-			jsonEscape(bw, t.procs[pid])
+			jsonEscape(bw, procs[pid])
 			bw.WriteString("}}")
 		}
-		tpids := make([]int, 0, len(t.threads))
-		for pid := range t.threads {
+		tpids := make([]int, 0, len(threads))
+		for pid := range threads {
 			tpids = append(tpids, pid)
 		}
 		sort.Ints(tpids)
 		for _, pid := range tpids {
-			tids := make([]int, 0, len(t.threads[pid]))
-			for tid := range t.threads[pid] {
+			tids := make([]int, 0, len(threads[pid]))
+			for tid := range threads[pid] {
 				tids = append(tids, tid)
 			}
 			sort.Ints(tids)
 			for _, tid := range tids {
 				sep()
 				fmt.Fprintf(bw, `{"name":"thread_name","ph":"M","pid":%d,"tid":%d,"args":{"name":`, pid, tid)
-				jsonEscape(bw, t.threads[pid][tid])
+				jsonEscape(bw, threads[pid][tid])
 				bw.WriteString("}}")
 			}
 		}

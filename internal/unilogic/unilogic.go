@@ -63,7 +63,7 @@ type Domain struct {
 	Reg *trace.Registry
 
 	topo      topo.Topology
-	mgrs      []*accel.Manager
+	prov      ManagerProvider
 	instances map[string][]*accel.Instance // kernel name → deployed instances
 	pending   map[string]int               // queued calls per instance key
 	eng       *sim.Engine
@@ -73,26 +73,69 @@ type Domain struct {
 	rejected    uint64
 }
 
+// ManagerProvider abstracts access to per-Worker accelerator managers so
+// a flyweight machine can materialize a Worker's manager on first touch.
+// An unmaterialized Worker behaves exactly like a freshly built idle one:
+// an empty fabric (FreeRegions == TotalRegions) and no instances.
+type ManagerProvider interface {
+	// NumWorkers returns the Worker count of the domain.
+	NumWorkers() int
+	// Manager returns worker w's manager, materializing it if needed.
+	Manager(w int) *accel.Manager
+	// PeekManager returns worker w's manager, or nil when the worker has
+	// not been materialized. It must not materialize anything.
+	PeekManager(w int) *accel.Manager
+	// FreeRegions reports worker w's free fabric regions without
+	// materializing an idle worker.
+	FreeRegions(w int) int
+}
+
+// staticManagers adapts an eager per-Worker manager slice to
+// ManagerProvider.
+type staticManagers []*accel.Manager
+
+func (p staticManagers) NumWorkers() int                  { return len(p) }
+func (p staticManagers) Manager(w int) *accel.Manager     { return p[w] }
+func (p staticManagers) PeekManager(w int) *accel.Manager { return p[w] }
+func (p staticManagers) FreeRegions(w int) int            { return p[w].Fab.FreeRegions() }
+
 // NewDomain creates a domain over per-Worker managers; mgrs[i] must be
 // Worker i's manager.
 func NewDomain(t topo.Topology, mgrs []*accel.Manager, eng *sim.Engine) *Domain {
 	if len(mgrs) != t.NumWorkers() {
 		panic(fmt.Sprintf("unilogic: %d managers for %d workers", len(mgrs), t.NumWorkers()))
 	}
+	return NewDomainFrom(t, staticManagers(mgrs), eng)
+}
+
+// NewDomainFrom creates a domain over a manager provider, which may
+// materialize managers lazily.
+func NewDomainFrom(t topo.Topology, prov ManagerProvider, eng *sim.Engine) *Domain {
+	if prov.NumWorkers() != t.NumWorkers() {
+		panic(fmt.Sprintf("unilogic: %d managers for %d workers", prov.NumWorkers(), t.NumWorkers()))
+	}
 	return &Domain{
-		topo: t, mgrs: mgrs, eng: eng,
+		topo: t, prov: prov, eng: eng,
 		instances: map[string][]*accel.Instance{},
 		pending:   map[string]int{},
 	}
 }
 
-// Manager returns worker w's accelerator manager.
-func (d *Domain) Manager(w int) *accel.Manager { return d.mgrs[w] }
+// Manager returns worker w's accelerator manager, materializing it in a
+// flyweight machine.
+func (d *Domain) Manager(w int) *accel.Manager { return d.prov.Manager(w) }
+
+// FreeRegions reports worker w's free fabric regions without forcing an
+// idle worker into existence.
+func (d *Domain) FreeRegions(w int) int { return d.prov.FreeRegions(w) }
+
+// NumWorkers returns the domain's Worker count.
+func (d *Domain) NumWorkers() int { return d.prov.NumWorkers() }
 
 // Deploy loads impl on worker w's fabric and registers it under the
 // kernel's name.
 func (d *Domain) Deploy(w int, impl *hls.Impl, done func(*accel.Instance, error)) {
-	d.mgrs[w].Ensure(impl, func(in *accel.Instance, err error) {
+	d.prov.Manager(w).Ensure(impl, func(in *accel.Instance, err error) {
 		if err != nil {
 			done(nil, err)
 			return

@@ -53,7 +53,7 @@ func (s *Space) Replicate(addr uint64, w int, done func()) {
 	}
 	s.count("replications")
 	s.net.DMATransfer(p.owner, w, s.cfg.PageBytes, noc.DefaultDMAConfig(), func() {
-		s.workers[w].dram.Access(s.cfg.PageBytes, func() {
+		s.wm(w).dram.Access(s.cfg.PageBytes, func() {
 			r.holders[w] = true
 			if done != nil {
 				done()
@@ -165,12 +165,12 @@ func (s *Space) ReplicatedRead(node int, addr uint64, size int, done func(data [
 	}
 	if src == node {
 		s.count("replica_local_reads")
-		s.workers[node].dram.Access(size, deliver)
+		s.wm(node).dram.Access(size, deliver)
 		return
 	}
 	s.count("replica_remote_reads")
 	s.net.Send(node, src, s.cfg.CtrlBytes, noc.Load, func() {
-		s.workers[src].dram.Access(size, func() {
+		s.wm(src).dram.Access(size, func() {
 			s.net.Send(src, node, size, noc.Load, deliver)
 		})
 	})

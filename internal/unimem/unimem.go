@@ -93,23 +93,37 @@ type Space struct {
 	reps    map[uint64]*replicaState
 }
 
-// NewSpace creates a space over the network's workers.
+// NewSpace creates a space over the network's workers. Per-worker
+// memory-side state (cache, DRAM channel, atomic unit, mailbox) is a
+// flyweight: the slice holds nil until the first access touching that
+// worker materializes it, so a 100k-worker space costs one pointer per
+// idle worker.
 func NewSpace(net *noc.Network, cfg Config, reg *trace.Registry) *Space {
 	if cfg.PageBytes <= 0 || cfg.PageBytes%mem.LineBytes != 0 {
 		panic("unimem: page size must be a positive multiple of the line size")
 	}
 	n := net.Topology().NumWorkers()
 	s := &Space{net: net, cfg: cfg, reg: reg, pages: map[uint64]*page{}, next: 1}
-	eng := net.Engine()
-	for i := 0; i < n; i++ {
-		s.workers = append(s.workers, &workerMem{
-			cache:  mem.NewCache(cfg.CacheCfg),
-			dram:   mem.NewDRAM(eng, cfg.DRAMCfg),
-			atomic: sim.NewResource(eng, fmt.Sprintf("atomic-%d", i), 1),
-			mbox:   sim.NewFIFO[Message](),
-		})
-	}
+	s.workers = make([]*workerMem, n)
 	return s
+}
+
+// wm materializes worker w's memory-side state on first touch. Creation
+// schedules no events and consumes no randomness, so when a worker is
+// first touched cannot affect simulated behaviour.
+func (s *Space) wm(w int) *workerMem {
+	m := s.workers[w]
+	if m == nil {
+		eng := s.net.Engine()
+		m = &workerMem{
+			cache:  mem.NewCache(s.cfg.CacheCfg),
+			dram:   mem.NewDRAM(eng, s.cfg.DRAMCfg),
+			atomic: sim.NewResource(eng, fmt.Sprintf("atomic-%d", w), 1),
+			mbox:   sim.NewFIFO[Message](),
+		}
+		s.workers[w] = m
+	}
+	return m
 }
 
 // Engine returns the simulation engine.
@@ -125,10 +139,10 @@ func (s *Space) PageBytes() int { return s.cfg.PageBytes }
 func (s *Space) NumWorkers() int { return len(s.workers) }
 
 // Cache returns worker w's cache (for inspection in tests/benches).
-func (s *Space) Cache(w int) *mem.Cache { return s.workers[w].cache }
+func (s *Space) Cache(w int) *mem.Cache { return s.wm(w).cache }
 
 // DRAM returns worker w's DRAM channel.
-func (s *Space) DRAM(w int) *mem.DRAM { return s.workers[w].dram }
+func (s *Space) DRAM(w int) *mem.DRAM { return s.wm(w).dram }
 
 func (s *Space) count(name string) {
 	if s.reg != nil {
@@ -197,7 +211,11 @@ func (s *Space) SetCacher(addr uint64, node int, done func()) {
 	}
 	old := p.cacher
 	pageBase := addr / uint64(s.cfg.PageBytes) * uint64(s.cfg.PageBytes)
-	_, dirty := s.workers[old].cache.InvalidateRange(pageBase, s.cfg.PageBytes)
+	// An unmaterialized old cacher has an empty cache: nothing to flush.
+	dirty := 0
+	if om := s.workers[old]; om != nil {
+		_, dirty = om.cache.InvalidateRange(pageBase, s.cfg.PageBytes)
+	}
 	s.count("cacher_moves")
 	finish := func() {
 		p.cacher = node
@@ -216,7 +234,7 @@ func (s *Space) SetCacher(addr uint64, node int, done func()) {
 	wg := sim.NewWaitGroup(s.Engine(), dirty)
 	for i := 0; i < dirty; i++ {
 		s.net.Send(old, p.owner, mem.LineBytes, noc.Store, func() {
-			s.workers[p.owner].dram.Access(mem.LineBytes, wg.DoneOne)
+			s.wm(p.owner).dram.Access(mem.LineBytes, wg.DoneOne)
 		})
 	}
 	wg.Wait(func() {
@@ -250,7 +268,7 @@ func (s *Space) observeCoh(node int, name string, start sim.Time, bytes int64) {
 func (s *Space) Read(node int, addr uint64, size int, done func(data []byte)) {
 	s.checkSpan(addr, size)
 	p := s.pageOf(addr)
-	w := s.workers[node]
+	w := s.wm(node)
 	deliver := func() {
 		if done != nil {
 			off := addr % uint64(s.cfg.PageBytes)
@@ -274,7 +292,7 @@ func (s *Space) Read(node int, addr uint64, size int, done func(data []byte)) {
 			return
 		}
 		s.net.Send(node, p.owner, s.cfg.CtrlBytes, noc.Load, func() {
-			s.workers[p.owner].dram.Access(mem.LineBytes, func() {
+			s.wm(p.owner).dram.Access(mem.LineBytes, func() {
 				s.net.Send(p.owner, node, mem.LineBytes, noc.Load, deliver)
 			})
 		})
@@ -284,7 +302,7 @@ func (s *Space) Read(node int, addr uint64, size int, done func(data []byte)) {
 	default:
 		s.count("remote_reads")
 		s.net.Send(node, p.owner, s.cfg.CtrlBytes, noc.Load, func() {
-			s.workers[p.owner].dram.Access(size, func() {
+			s.wm(p.owner).dram.Access(size, func() {
 				s.net.Send(p.owner, node, size, noc.Load, deliver)
 			})
 		})
@@ -297,7 +315,7 @@ func (s *Space) Read(node int, addr uint64, size int, done func(data []byte)) {
 func (s *Space) Write(node int, addr uint64, data []byte, done func()) {
 	s.checkSpan(addr, len(data))
 	p := s.pageOf(addr)
-	w := s.workers[node]
+	w := s.wm(node)
 	off := addr % uint64(s.cfg.PageBytes)
 	copy(p.data[off:], data) // data plane: applied immediately (see package doc)
 	finish := func() {
@@ -321,7 +339,7 @@ func (s *Space) Write(node int, addr uint64, data []byte, done func()) {
 		}
 		// Write-allocate: fetch the line, then dirty it locally.
 		s.net.Send(node, p.owner, s.cfg.CtrlBytes, noc.Load, func() {
-			s.workers[p.owner].dram.Access(mem.LineBytes, func() {
+			s.wm(p.owner).dram.Access(mem.LineBytes, func() {
 				s.net.Send(p.owner, node, mem.LineBytes, noc.Load, finish)
 			})
 		})
@@ -332,7 +350,7 @@ func (s *Space) Write(node int, addr uint64, data []byte, done func()) {
 		s.count("remote_writes")
 		// Uncached remote store: posted write + ack.
 		s.net.Send(node, p.owner, len(data)+s.cfg.CtrlBytes, noc.Store, func() {
-			s.workers[p.owner].dram.Access(len(data), func() {
+			s.wm(p.owner).dram.Access(len(data), func() {
 				s.net.Send(p.owner, node, s.cfg.CtrlBytes, noc.Store, finish)
 			})
 		})
@@ -352,11 +370,11 @@ func (s *Space) handleEviction(node int, _ *page, res mem.AccessResult) {
 	}
 	s.count("writebacks")
 	if vp.owner == node {
-		s.workers[node].dram.Access(mem.LineBytes, nil)
+		s.wm(node).dram.Access(mem.LineBytes, nil)
 		return
 	}
 	s.net.Send(node, vp.owner, mem.LineBytes, noc.Store, func() {
-		s.workers[vp.owner].dram.Access(mem.LineBytes, nil)
+		s.wm(vp.owner).dram.Access(mem.LineBytes, nil)
 	})
 }
 
@@ -416,11 +434,12 @@ func (s *Space) AtomicRMW(node int, addr uint64, f func(old uint64) uint64, done
 	p := s.pageOf(addr)
 	owner := p.owner
 	exec := func() {
-		s.workers[owner].atomic.Acquire(func() {
-			s.workers[owner].dram.Access(8, func() {
+		ow := s.wm(owner)
+		ow.atomic.Acquire(func() {
+			ow.dram.Access(8, func() {
 				old := s.PeekWord(addr)
 				s.PokeWord(addr, f(old))
-				s.workers[owner].atomic.Release()
+				ow.atomic.Release()
 				if node == owner {
 					if done != nil {
 						done(old)
@@ -449,7 +468,7 @@ func (s *Space) AtomicRMW(node int, addr uint64, f func(old uint64) uint64, done
 func (s *Space) Notify(src, dst int, payload uint64, done func()) {
 	s.count("notifies")
 	s.net.Send(src, dst, s.cfg.CtrlBytes, noc.Interrupt, func() {
-		s.workers[dst].mbox.Push(Message{From: src, Payload: payload})
+		s.wm(dst).mbox.Push(Message{From: src, Payload: payload})
 		if done != nil {
 			done()
 		}
@@ -458,7 +477,7 @@ func (s *Space) Notify(src, dst int, payload uint64, done func()) {
 
 // Mailbox returns worker w's message queue; consumers use Pop to park
 // until a message arrives.
-func (s *Space) Mailbox(w int) *sim.FIFO[Message] { return s.workers[w].mbox }
+func (s *Space) Mailbox(w int) *sim.FIFO[Message] { return s.wm(w).mbox }
 
 // MigratePage moves the page containing addr to a new owner: the old
 // cacher is flushed, the page bytes stream over as a DMA transfer, and
@@ -483,7 +502,7 @@ func (s *Space) MigratePage(addr uint64, newOwner int, done func()) {
 	s.SetCacher(addr, p.owner, func() {
 		old := p.owner
 		s.net.DMATransfer(old, newOwner, s.cfg.PageBytes, noc.DefaultDMAConfig(), func() {
-			s.workers[newOwner].dram.Access(s.cfg.PageBytes, func() {
+			s.wm(newOwner).dram.Access(s.cfg.PageBytes, func() {
 				p.owner = newOwner
 				p.cacher = newOwner
 				s.observeCoh(origOwner, "migrate", start, int64(s.cfg.PageBytes))

@@ -53,9 +53,7 @@ func soakRun(balance rts.BalanceKind) (sim.Time, uint64, error) {
 	m.Daemon.Register(mcImpl)
 	m.Daemon.Start()
 
-	for _, s := range m.Scheds {
-		s.Policy = rts.PolicyModel{}
-	}
+	m.SetPolicy(rts.PolicyModel{})
 
 	rng := sim.NewRNG(7)
 	buf := m.Space.Alloc(0, 1<<20)
@@ -98,10 +96,10 @@ func soakRun(balance rts.BalanceKind) (sim.Time, uint64, error) {
 		return 0, 0, fmt.Errorf("%d task failures, first: %v", len(failures), failures[0])
 	}
 	var cpu, hw uint64
-	for _, s := range m.Scheds {
+	m.EachSched(func(s *rts.Scheduler) {
 		cpu += s.Executed(rts.DeviceCPU)
 		hw += s.Executed(rts.DeviceHW)
-	}
+	})
 	if cpu+hw != total {
 		return 0, 0, fmt.Errorf("executed %d+%d != %d", cpu, hw, total)
 	}
@@ -165,9 +163,7 @@ func TestSoakDeterminism(t *testing.T) {
 			ecoscale.Directives{Unroll: 8, MemPorts: 8, Share: 1, Pipeline: true}, 0); err != nil {
 			return 0, 0, err
 		}
-		for _, s := range m.Scheds {
-			s.Policy = rts.PolicyModel{}
-		}
+		m.SetPolicy(rts.PolicyModel{})
 		rng := sim.NewRNG(3)
 		buf := m.Space.Alloc(0, 65536)
 		for i := 0; i < 120; i++ {
@@ -185,9 +181,9 @@ func TestSoakDeterminism(t *testing.T) {
 		}
 		end := m.Run()
 		var hw uint64
-		for _, s := range m.Scheds {
+		m.EachSched(func(s *rts.Scheduler) {
 			hw += s.Executed(rts.DeviceHW)
-		}
+		})
 		return end, hw, nil
 	}
 	s := runner.Scenario{
