@@ -37,9 +37,11 @@ bench-smoke:
 	go run ./cmd/simbench -quick -out /dev/null 2> /dev/null
 
 # Smoke-run ecobench over a fast subset through the parallel runner,
-# exercising the pool, per-point timeouts and multi-ID selection.
+# exercising the pool, per-point timeouts and multi-ID selection; the
+# second run smokes the R-series resilience suite on trimmed sweeps.
 experiments:
 	go run ./cmd/ecobench -run E2,E3,E4,E10,A1 -parallel 0 -timeout 60s > /dev/null
+	go run ./cmd/ecobench -run R -quick -parallel 0 -timeout 60s > /dev/null
 
 # Flyweight weak-scaling gate: one 131k-worker machine must construct
 # and serve a sparse burst under a hard heap budget.

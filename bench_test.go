@@ -199,6 +199,11 @@ func BenchmarkE16Irregular(b *testing.B) { benchExperiment(b, "E16") }
 
 func BenchmarkA5LinkCapacity(b *testing.B) { benchExperiment(b, "A5") }
 
+func BenchmarkR1FaultRate(b *testing.B)     { benchExperiment(b, "R1") }
+func BenchmarkR2CkptInterval(b *testing.B)  { benchExperiment(b, "R2") }
+func BenchmarkR3Evacuation(b *testing.B)    { benchExperiment(b, "R3") }
+func BenchmarkR4Fragmentation(b *testing.B) { benchExperiment(b, "R4") }
+
 // BenchmarkMachineFootprint is the flyweight acceptance series: live
 // heap bytes per Worker of a freshly constructed (untouched) machine at
 // weak-scaling sizes up to 131k Workers. Construction materializes no

@@ -112,6 +112,7 @@ func mainExit() int {
 	parallel := flag.Int("parallel", 0, "points run concurrently per experiment (0 = GOMAXPROCS, 1 = sequential)")
 	timeout := flag.Duration("timeout", 0, "per-point timeout (0 = none)")
 	progress := flag.Bool("progress", false, "report per-point progress and a runner summary on stderr")
+	quick := flag.Bool("quick", false, "trim the R-series resilience sweeps to a smoke run")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile (taken after the run) to this file")
 	flag.Parse()
@@ -143,6 +144,7 @@ func mainExit() int {
 		}()
 	}
 
+	experiments.Quick = *quick
 	reg := experiments.Registry()
 	if *list {
 		for _, s := range reg {

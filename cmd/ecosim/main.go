@@ -8,22 +8,30 @@
 //	ecosim -workers 8 -nodes 4 -kernel matmul -tasks 64 -policy model
 //	ecosim -kernel montecarlo -tasks 200 -n 8192 -sharing private
 //	ecosim -balance polling -skew    # imbalanced arrival
+//	ecosim -tasks 256 -fault-mtbf 100us -ckpt-interval 50us  # resilience
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"os"
+	"time"
 
 	"ecoscale"
 	"ecoscale/internal/accel"
+	"ecoscale/internal/fabric"
+	"ecoscale/internal/fault"
 	"ecoscale/internal/hls"
 	"ecoscale/internal/rts"
 	"ecoscale/internal/sim"
 	"ecoscale/internal/workload"
 )
+
+// st converts a wall-clock flag duration into simulated time.
+func st(d time.Duration) sim.Time { return sim.Time(d.Nanoseconds()) * sim.Nanosecond }
 
 func main() {
 	workers := flag.Int("workers", 4, "workers per compute node")
@@ -47,6 +55,17 @@ func main() {
 	metricsJSON := flag.String("metrics-json", "", "write a JSON metrics snapshot")
 	profileOn := flag.Bool("profile", false, "print the bottleneck report (critical path, utilization, sampling profile)")
 	profileInt := flag.Duration("profile-interval", 0, "sampling-profiler period in simulated time (default 10us)")
+	faultMTBF := flag.Duration("fault-mtbf", 0, "Worker death MTBF in simulated time (0 = no deaths)")
+	faultMaxKills := flag.Int("fault-max-kills", 0, "cap on stochastic Worker deaths (0 = uncapped)")
+	faultRegionMTBF := flag.Duration("fault-region-mtbf", 0, "fabric-region failure MTBF (0 = none)")
+	faultMaxRegions := flag.Int("fault-max-region-fails", 0, "cap on region failures (0 = uncapped)")
+	faultLinkMTBF := flag.Duration("fault-link-mtbf", 0, "NoC link flap MTBF (0 = none)")
+	faultLinkDown := flag.Duration("fault-link-down", 0, "outage duration per link flap (0 = plan default)")
+	faultMaxFlaps := flag.Int("fault-max-flaps", 0, "cap on link flaps (0 = uncapped)")
+	faultHorizon := flag.Duration("fault-horizon", 0, "stochastic fault window (0 = plan default)")
+	faultSeed := flag.Int64("fault-seed", 1, "seed for the fault schedule")
+	ckptInterval := flag.Duration("ckpt-interval", 0, "checkpoint interval (0 = checkpointing off)")
+	ckptBytes := flag.Int("ckpt-bytes", 0, "snapshot bytes per Worker checkpoint (0 = default)")
 	flag.Parse()
 
 	w, err := workload.ByName(*kernelName)
@@ -108,10 +127,16 @@ func main() {
 
 	if _, err := m.DeployKernel(w.Source,
 		ecoscale.Directives{Unroll: *unroll, MemPorts: *ports, Share: 1, Pipeline: true}, 0); err != nil {
-		log.Fatal(err)
+		// A fabric too small for the engine is a degraded mode, not a
+		// crash: the dispatch policies fall back to software execution.
+		var ns *fabric.ErrNoSpace
+		if !errors.As(err, &ns) {
+			log.Fatal(err)
+		}
+		fmt.Printf("fabric: %v — continuing in software\n", err)
+	} else {
+		fmt.Printf("deployed %s engine (reconfiguration took %v)\n", w.Name, m.Eng.Now())
 	}
-	deployT := m.Eng.Now()
-	fmt.Printf("deployed %s engine (reconfiguration took %v)\n", w.Name, deployT)
 
 	// Reference software run for the op mix.
 	rng := sim.NewRNG(*seed)
@@ -123,7 +148,7 @@ func main() {
 	buf := m.Space.Alloc(0, *nSize*8)
 	out := m.Space.Alloc(0, 4096)
 
-	done := 0
+	done, taskErrs := 0, 0
 	start := m.Eng.Now()
 	for i := 0; i < *tasks; i++ {
 		target := i % m.Workers()
@@ -136,11 +161,32 @@ func main() {
 			Reads:    []accel.Span{{Addr: buf, Size: *nSize * 8}},
 			Writes:   []accel.Span{{Addr: out, Size: 64}},
 			SWStats:  stats,
-		}, func(rts.Device, error) { done++ })
+		}, func(_ rts.Device, err error) {
+			done++
+			if err != nil {
+				taskErrs++
+			}
+		})
+	}
+	plan := &fault.Plan{
+		Seed: *faultSeed, Start: start, Horizon: st(*faultHorizon),
+		WorkerMTBF: st(*faultMTBF), MaxKills: *faultMaxKills,
+		RegionMTBF: st(*faultRegionMTBF), MaxRegionFails: *faultMaxRegions,
+		LinkMTBF: st(*faultLinkMTBF), LinkDown: st(*faultLinkDown), MaxFlaps: *faultMaxFlaps,
+		Checkpoint: fault.CheckpointConfig{Interval: st(*ckptInterval), Bytes: *ckptBytes},
+	}
+	if !plan.Empty() {
+		fmt.Printf("armed %d fault events (seed %d)\n", m.InjectFaults(plan), *faultSeed)
 	}
 	end := m.Run()
 	if done != *tasks {
 		log.Fatalf("lost tasks: %d of %d", done, *tasks)
+	}
+	if taskErrs > 0 {
+		fmt.Printf("%d tasks failed (no live Worker left to take them)\n", taskErrs)
+	}
+	if dead := m.DeadWorkers(); dead > 0 {
+		fmt.Printf("faults: %d of %d Workers died during the run\n", dead, m.Workers())
 	}
 	fmt.Printf("%d tasks of %s(N=%d) finished in %v (policy=%s sharing=%s balance=%s)\n\n",
 		*tasks, w.Name, *nSize, end-start, *policy, *sharing, *balance)

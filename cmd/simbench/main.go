@@ -15,6 +15,7 @@
 //	simbench -quick               # smoke mode (fewer events, 1 round)
 //	simbench -events N -rounds R  # tune measurement effort
 //	simbench -esuite E2,E3        # choose the timed experiment subset
+//	simbench -rsuite R1,R3        # choose the timed resilience subset
 //
 // Measurement is a plain wall-clock + runtime.MemStats loop (best of
 // -rounds), not testing.Benchmark, so the binary needs no testing flags
@@ -66,6 +67,7 @@ type report struct {
 	Kernel    []benchResult      `json:"kernel"`
 	Speedup   map[string]float64 `json:"speedup_events_per_sec"`
 	ESuite    *esuiteResult      `json:"esuite,omitempty"`
+	RSuite    *esuiteResult      `json:"r_suite_wall,omitempty"`
 	Footprint []footprintResult  `json:"machine_footprint,omitempty"`
 }
 
@@ -344,6 +346,7 @@ func main() {
 	events := flag.Int("events", 2_000_000, "events per kernel workload")
 	rounds := flag.Int("rounds", 3, "measurement rounds per workload (best kept)")
 	esuite := flag.String("esuite", "E2,E3,E4,E10,A1", "comma-separated experiments to time end-to-end (empty = skip)")
+	rsuite := flag.String("rsuite", "R1,R2,R3,R4", "comma-separated resilience experiments to time end-to-end (empty = skip)")
 	parallel := flag.Int("parallel", 1, "runner pool size for the E-suite timing (1 = sequential)")
 	quick := flag.Bool("quick", false, "smoke mode: 200k events, 1 round, E2 only")
 	flag.Parse()
@@ -352,6 +355,9 @@ func main() {
 		*events = 200_000
 		*rounds = 1
 		*esuite = "E2"
+		// Keep the resilience series in smoke mode too, on the trimmed
+		// sweeps, so BENCH_sim.json always carries an r_suite_wall point.
+		experiments.Quick = true
 	}
 
 	rep := report{
@@ -397,6 +403,16 @@ func main() {
 		rep.ESuite = es
 		fmt.Fprintf(os.Stderr, "esuite %s: %d points in %.2fs (parallel=%d)\n",
 			strings.Join(es.Experiments, ","), es.Points, es.WallSeconds, es.Parallel)
+	}
+
+	if *rsuite != "" {
+		rs, err := esuiteWall(strings.Split(*rsuite, ","), *parallel)
+		if err != nil {
+			log.Fatalf("rsuite: %v", err)
+		}
+		rep.RSuite = rs
+		fmt.Fprintf(os.Stderr, "rsuite %s: %d points in %.2fs (parallel=%d)\n",
+			strings.Join(rs.Experiments, ","), rs.Points, rs.WallSeconds, rs.Parallel)
 	}
 
 	w := os.Stdout

@@ -55,6 +55,7 @@ type Instance struct {
 	lastUsed  sim.Time
 	calls     uint64
 	loaded    bool
+	failed    bool // region died under the module; calls complete with ErrInstanceLost
 	suspended bool
 	deferred  []deferredCall
 	onDrain   func()
@@ -98,6 +99,11 @@ type Manager struct {
 	Trace *trace.Tracer
 	// Reg, when non-nil, receives the lat.* latency histograms.
 	Reg *trace.Registry
+	// OnUnload, when non-nil, observes every instance leaving the fabric
+	// (LRU eviction, explicit Unload, migration, region failure) so
+	// cross-Worker routing tables can drop stale entries. Wired by the
+	// fault layer; nil on a healthy machine.
+	OnUnload func(*Instance)
 
 	eng       *sim.Engine
 	instances map[string]*Instance
@@ -196,6 +202,9 @@ func (m *Manager) unload(in *Instance) {
 	m.Fab.Remove(in.Placement)
 	in.loaded = false
 	delete(m.instances, in.Placement.Module.Name)
+	if m.OnUnload != nil {
+		m.OnUnload(in)
+	}
 }
 
 // Unload evicts a named module; it reports whether it was present and
@@ -241,6 +250,10 @@ func (in *Instance) Invoke(caller int, spec CallSpec, done func(error)) {
 		in.deferred = append(in.deferred, deferredCall{caller: caller, spec: spec, done: done})
 		return
 	}
+	if in.failed {
+		done(ErrInstanceLost)
+		return
+	}
 	if !in.loaded {
 		done(fmt.Errorf("accel: instance %s not loaded", in.Placement.Module.Name))
 		return
@@ -249,6 +262,11 @@ func (in *Instance) Invoke(caller int, spec CallSpec, done func(error)) {
 	in.busy++
 	in.lastUsed = m.eng.Now()
 	finish := func(err error) {
+		if in.failed && err == nil {
+			// The region died mid-call: whatever the timing model finished
+			// computing is fiction, and the caller must retry elsewhere.
+			err = ErrInstanceLost
+		}
 		in.busy--
 		in.calls++
 		in.lastUsed = m.eng.Now()

@@ -167,6 +167,10 @@ type Machine struct {
 	census    *topo.Census
 	smmuTmpl  *smmu.SMMU // shared identity-map page tables (COW)
 	defPolicy rts.Policy // applied to schedulers at materialization
+	// faults is the armed-faults extension (see fault.go); nil until
+	// InjectFaults or a direct fault call, so a healthy machine carries
+	// one nil pointer of resilience overhead.
+	faults *faultState
 }
 
 // New builds a machine from the configuration. It panics with the
@@ -306,6 +310,9 @@ func (m *Machine) Manager(w int) *accel.Manager {
 		mgr.Trace = m.Tracer
 		mgr.Reg = m.Reg
 		mgr.Flow = m.Flow
+		if m.faults != nil {
+			mgr.OnUnload = m.domainUnload
+		}
 		sh.mgrs[i] = mgr
 		m.census.MarkLive(w)
 	}
@@ -471,6 +478,9 @@ func (m *Machine) Report() string {
 		hw += s.Executed(rts.DeviceHW)
 	})
 	fmt.Fprintf(&b, "tasks: %d on cpu, %d in hardware\n", cpu, hw)
+	if faults := m.faultReport(); faults != "" {
+		b.WriteString(faults)
+	}
 	if breakdown := m.latencyBreakdown(); breakdown != "" {
 		b.WriteString(breakdown)
 	}

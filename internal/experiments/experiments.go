@@ -15,6 +15,12 @@ import (
 	"ecoscale/internal/runner"
 )
 
+// Quick trims the R-series sweeps (fewer points, shorter streams) so
+// `make check` can smoke the resilience suite in seconds. Tables are
+// still deterministic — Quick selects different sweeps, it does not
+// sample.
+var Quick bool
+
 // Registry returns all experiment scenarios in order.
 func Registry() []runner.Scenario {
 	return []runner.Scenario{
@@ -22,6 +28,7 @@ func Registry() []runner.Scenario {
 		scenE7(), scenE8(), scenE9(), scenE10(), scenE11(), scenE12(),
 		scenE13(), scenE14(), scenE15(), scenE16(),
 		scenA1(), scenA2(), scenA3(), scenA4(), scenA5(),
+		scenR1(), scenR2(), scenR3(), scenR4(),
 	}
 }
 

@@ -77,8 +77,8 @@ func dur(t *testing.T, s string) float64 {
 
 func TestRegistryComplete(t *testing.T) {
 	reg := Registry()
-	if len(reg) != 21 {
-		t.Fatalf("registry has %d experiments, want 21 (E1-E16 + A1-A5)", len(reg))
+	if len(reg) != 25 {
+		t.Fatalf("registry has %d experiments, want 25 (E1-E16 + A1-A5 + R1-R4)", len(reg))
 	}
 	for i, e := range reg[:16] {
 		want := "E" + strconv.Itoa(i+1)
@@ -86,10 +86,16 @@ func TestRegistryComplete(t *testing.T) {
 			t.Errorf("experiment %d id %q, want %q", i, e.ID, want)
 		}
 	}
-	for i, e := range reg[16:] {
+	for i, e := range reg[16:21] {
 		want := "A" + strconv.Itoa(i+1)
 		if e.ID != want {
 			t.Errorf("ablation %d id %q, want %q", i, e.ID, want)
+		}
+	}
+	for i, e := range reg[21:] {
+		want := "R" + strconv.Itoa(i+1)
+		if e.ID != want {
+			t.Errorf("resilience scenario %d id %q, want %q", i, e.ID, want)
 		}
 	}
 	seen := map[string]bool{}
@@ -488,5 +494,90 @@ func TestA5Shape(t *testing.T) {
 	}
 	if sp := cell(t, tbl, tbl.Rows, 2, 2); sp < 1.5 {
 		t.Errorf("capacity-4 speedup %v too small for a hotspot", sp)
+	}
+}
+
+func TestR1Shape(t *testing.T) {
+	tbl := runExp(t, "R1")
+	// Makespan is monotone non-decreasing as MTBF shrinks, and the
+	// highest fault rate must visibly degrade it with work moved.
+	prev := 0.0
+	for i := range tbl.Rows {
+		end := dur(t, tbl.Rows[i][3])
+		if end < prev {
+			t.Errorf("row %d: makespan shrank as the fault rate grew", i)
+		}
+		prev = end
+	}
+	last := len(tbl.Rows) - 1
+	if cell(t, tbl, tbl.Rows, last, 1) == 0 {
+		t.Error("highest fault rate killed no Workers")
+	}
+	if cell(t, tbl, tbl.Rows, last, 2) == 0 {
+		t.Error("highest fault rate moved no tasks")
+	}
+	if slow := cell(t, tbl, tbl.Rows, last, 4); slow <= 1.1 {
+		t.Errorf("highest fault rate slowdown %vx — faults cost nothing?", slow)
+	}
+}
+
+func TestR2Shape(t *testing.T) {
+	tbl := runExp(t, "R2")
+	// Some swept interval must beat no checkpointing, and an interval
+	// longer than the run must behave exactly like "off".
+	off := dur(t, tbl.Rows[0][3])
+	best := off
+	for i := 1; i < len(tbl.Rows); i++ {
+		if end := dur(t, tbl.Rows[i][3]); end < best {
+			best = end
+		}
+	}
+	if best >= off {
+		t.Errorf("no checkpoint interval beat off (%v)", off)
+	}
+	last := len(tbl.Rows) - 1
+	if got := dur(t, tbl.Rows[last][3]); got != off {
+		t.Errorf("never-fires interval makespan %v != off %v", got, off)
+	}
+	if tbl.Rows[1][2] == "0" {
+		t.Error("frequent checkpointing produced no restores")
+	}
+}
+
+func TestR3Shape(t *testing.T) {
+	tbl := runExp(t, "R3")
+	// Tasks evacuated tracks the queue depth; page count and latency do
+	// not (evacuation cost is page migration, not queue bookkeeping).
+	for i := range tbl.Rows {
+		if cell(t, tbl, tbl.Rows, i, 1) != cell(t, tbl, tbl.Rows, i, 0) {
+			t.Errorf("row %d: evacuated %s tasks at depth %s", i, tbl.Rows[i][1], tbl.Rows[i][0])
+		}
+		if tbl.Rows[i][2] != tbl.Rows[0][2] {
+			t.Errorf("row %d: pages evacuated varied with queue depth", i)
+		}
+		if tbl.Rows[i][4] != tbl.Rows[0][4] {
+			t.Errorf("row %d: evacuation latency varied with queue depth", i)
+		}
+	}
+}
+
+func TestR4Shape(t *testing.T) {
+	tbl := runExp(t, "R4")
+	prevBox := 1e18
+	for i := range tbl.Rows {
+		lost := cell(t, tbl, tbl.Rows, i, 1)
+		redeployed := cell(t, tbl, tbl.Rows, i, 2)
+		fallbacks := cell(t, tbl, tbl.Rows, i, 3)
+		if lost == 0 {
+			t.Errorf("row %d: targeted region failure lost no modules", i)
+		}
+		if redeployed+fallbacks != lost {
+			t.Errorf("row %d: lost %v != redeployed %v + fallbacks %v", i, lost, redeployed, fallbacks)
+		}
+		box := cell(t, tbl, tbl.Rows, i, 4)
+		if box > prevBox {
+			t.Errorf("row %d: largest free box grew with more failures", i)
+		}
+		prevBox = box
 	}
 }

@@ -151,6 +151,11 @@ type Fabric struct {
 	placements map[int]*Placement
 	nextID     int
 	port       *sim.Resource // nil until the first bitstream load
+	// failed marks permanently unusable regions (flat row-major bitmap);
+	// nil until the first FailRegion, so a healthy fabric pays one nil
+	// check per rectFree cell and nothing else.
+	failed  []bool
+	nfailed int
 
 	loads       uint64
 	loadedBytes uint64
@@ -199,15 +204,16 @@ func (f *Fabric) Config() Config { return *f.cfg }
 // TotalRegions returns the region count.
 func (f *Fabric) TotalRegions() int { return f.cfg.Rows * f.cfg.Cols }
 
-// FreeRegions returns how many regions are unoccupied.
+// FreeRegions returns how many regions are unoccupied and usable; failed
+// regions count as neither free nor occupied by a module.
 func (f *Fabric) FreeRegions() int {
 	if f.grid == nil {
 		return f.TotalRegions()
 	}
 	n := 0
-	for _, row := range f.grid {
-		for _, v := range row {
-			if v < 0 {
+	for r, row := range f.grid {
+		for c, v := range row {
+			if v < 0 && !f.failedAt(r, c) {
 				n++
 			}
 		}
@@ -266,12 +272,48 @@ func (f *Fabric) rectFree(row, col, rows, cols int) bool {
 	}
 	for r := row; r < row+rows; r++ {
 		for c := col; c < col+cols; c++ {
-			if f.grid[r][c] >= 0 {
+			if f.grid[r][c] >= 0 || f.failedAt(r, c) {
 				return false
 			}
 		}
 	}
 	return true
+}
+
+// failedAt reports whether region (r, c) has been marked failed.
+func (f *Fabric) failedAt(r, c int) bool {
+	return f.failed != nil && f.failed[r*f.cfg.Cols+c]
+}
+
+// FailedRegions returns how many regions have been marked failed.
+func (f *Fabric) FailedRegions() int { return f.nfailed }
+
+// FailRegion marks region (row, col) permanently unusable: it is excluded
+// from every future placement search (Place, Defragment, LargestFreeBox)
+// and from the free-region count. If a placement overlapped the region,
+// that placement is removed — its module can no longer be trusted — and
+// returned so the caller can tear down and re-place the module; nil means
+// the region was free (or already failed) and nothing was lost.
+func (f *Fabric) FailRegion(row, col int) *Placement {
+	if row < 0 || row >= f.cfg.Rows || col < 0 || col >= f.cfg.Cols {
+		panic(fmt.Sprintf("fabric: FailRegion(%d,%d) outside %dx%d grid", row, col, f.cfg.Rows, f.cfg.Cols))
+	}
+	f.materializeGrid()
+	if f.failedAt(row, col) {
+		return nil
+	}
+	if f.failed == nil {
+		f.failed = make([]bool, f.cfg.Rows*f.cfg.Cols)
+	}
+	f.failed[row*f.cfg.Cols+col] = true
+	f.nfailed++
+	if id := f.grid[row][col]; id >= 0 {
+		p := f.placements[id]
+		f.fill(p, -1)
+		delete(f.placements, id)
+		return p
+	}
+	return nil
 }
 
 // ErrNoSpace is returned when no free bounding box can hold a module.
@@ -328,8 +370,12 @@ func (f *Fabric) PlacementFailures() uint64 { return f.failures }
 
 // Defragment compacts the floorplan: every module is lifted and re-placed
 // greedily in decreasing area order. It returns how many modules moved.
-// Callers that care about timing must reload moved modules (the
-// accelerator layer models that as module migration).
+// Failed regions are never re-placement targets (the placement search
+// skips them like occupied cells), and a module that no longer fits
+// anywhere keeps its old rectangle — which cannot overlap a failed region
+// since FailRegion evicts overlapping placements eagerly. Callers that
+// care about timing must reload moved modules (the accelerator layer
+// models that as module migration).
 func (f *Fabric) Defragment() (moved int) {
 	ps := f.Placements()
 	sort.Slice(ps, func(i, j int) bool {

@@ -220,6 +220,111 @@ func TestDefragPreservesModules(t *testing.T) {
 	}
 }
 
+func TestFailRegionEvictsOverlap(t *testing.T) {
+	_, f, _ := newFabric(t)
+	p, err := f.Place(bigMod("a", 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lost := f.FailRegion(p.Row, p.Col)
+	if lost != p {
+		t.Fatalf("FailRegion returned %v, want the overlapping placement %v", lost, p)
+	}
+	if f.FailedRegions() != 1 {
+		t.Errorf("FailedRegions = %d, want 1", f.FailedRegions())
+	}
+	// The other 3 regions of the evicted module are free again; the failed
+	// one is neither free nor occupied.
+	if f.FreeRegions() != 63 {
+		t.Errorf("FreeRegions = %d, want 63", f.FreeRegions())
+	}
+	// Failing a free region loses nothing; failing twice is idempotent.
+	if f.FailRegion(7, 7) != nil {
+		t.Error("failing a free region returned a placement")
+	}
+	if f.FailRegion(7, 7) != nil || f.FailedRegions() != 2 {
+		t.Error("double FailRegion not idempotent")
+	}
+	// New placements avoid the holes.
+	for i := 0; i < 62; i++ {
+		p, err := f.Place(bigMod("m", 1))
+		if err != nil {
+			t.Fatalf("placement %d failed with 2 failed regions: %v", i, err)
+		}
+		if f.failedAt(p.Row, p.Col) {
+			t.Fatalf("placement %d landed on failed region (%d,%d)", i, p.Row, p.Col)
+		}
+	}
+	if _, err := f.Place(bigMod("m", 1)); err == nil {
+		t.Error("63rd placement should fail: only 62 usable regions remain")
+	}
+}
+
+// Defragment on a grid with failed regions must compact around the holes:
+// no module may land on a failed cell and occupancy accounting stays
+// exact — the property the fault layer's re-floorplanning relies on.
+func TestDefragAroundFailedRegions(t *testing.T) {
+	_, f, _ := newFabric(t)
+	var ps []*Placement
+	for i := 0; i < 64; i++ {
+		p, err := f.Place(bigMod("m", 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ps = append(ps, p)
+	}
+	// Checkerboard removal fragments the grid, then a diagonal of the
+	// freed cells fails outright.
+	for i := 0; i < 64; i += 2 {
+		f.Remove(ps[i])
+	}
+	for i := 0; i < 4; i++ {
+		if lost := f.FailRegion(2*i, 2*i); lost != nil {
+			t.Fatalf("failed region (%d,%d) should have been free, lost %v", 2*i, 2*i, lost)
+		}
+	}
+	live := 32
+	if f.FreeRegions() != 32-4 {
+		t.Fatalf("FreeRegions = %d, want 28", f.FreeRegions())
+	}
+	f.Defragment()
+	if got := len(f.Placements()); got != live {
+		t.Fatalf("defrag lost modules: %d placements, want %d", got, live)
+	}
+	total := 0
+	for _, p := range f.Placements() {
+		total += p.Area()
+		for r := p.Row; r < p.Row+p.Rows; r++ {
+			for c := p.Col; c < p.Col+p.Cols; c++ {
+				if f.failedAt(r, c) {
+					t.Fatalf("defrag placed %v over failed region (%d,%d)", p, r, c)
+				}
+			}
+		}
+	}
+	if occ := f.TotalRegions() - f.FreeRegions() - f.FailedRegions(); occ != total {
+		t.Errorf("occupied %d != sum of areas %d", occ, total)
+	}
+	// Compaction must still help: the 28 usable free cells should now
+	// include a box big enough for a multi-region module.
+	if f.LargestFreeBox() < 4 {
+		t.Errorf("largest free box %d after defrag around holes", f.LargestFreeBox())
+	}
+	if _, err := f.Place(bigMod("big", 4)); err != nil {
+		t.Errorf("4-region placement after defrag-around-holes failed: %v", err)
+	}
+}
+
+func TestLargestFreeBoxSkipsFailed(t *testing.T) {
+	_, f, _ := newFabric(t)
+	// Fail the center cell of an empty 8x8 grid: the largest box drops
+	// from 64 to 8x4 = 32.
+	f.FailRegion(3, 3)
+	if got := f.LargestFreeBox(); got != 32 {
+		t.Errorf("LargestFreeBox with center hole = %d, want 32", got)
+	}
+}
+
 func TestRLERoundtrip(t *testing.T) {
 	cases := [][]byte{
 		nil,

@@ -1,0 +1,64 @@
+package fault
+
+import (
+	"ecoscale/internal/sim"
+)
+
+// Hooks are the machine-side fault handlers the Injector drives. Each
+// receives one scheduled event's parameters at its scheduled time; the
+// recovery they trigger is the subsystems' business.
+type Hooks struct {
+	KillWorker func(w int)
+	FailRegion func(w, row, col int)
+	FlapLink   func(w, level int, down sim.Time)
+}
+
+// Injector arms a fault schedule on an engine.
+type Injector struct {
+	eng   *sim.Engine
+	hooks Hooks
+	// Fired counts events delivered so far.
+	Fired int
+	// Armed is the schedule being delivered.
+	Armed []Event
+}
+
+// NewInjector creates an injector delivering to hooks.
+func NewInjector(eng *sim.Engine, hooks Hooks) *Injector {
+	return &Injector{eng: eng, hooks: hooks}
+}
+
+// Arm schedules every event in the list. Event times already in the past
+// are clamped to now (the engine cannot run backwards); ordering within
+// a tick follows the schedule's sort. Returns the armed event count.
+func (in *Injector) Arm(events []Event) int {
+	now := in.eng.Now()
+	for i := range events {
+		e := events[i]
+		at := e.At
+		if at < now {
+			at = now
+		}
+		in.eng.At(at, func() { in.deliver(e) })
+	}
+	in.Armed = append(in.Armed, events...)
+	return len(events)
+}
+
+func (in *Injector) deliver(e Event) {
+	in.Fired++
+	switch e.Kind {
+	case KillWorker:
+		if in.hooks.KillWorker != nil {
+			in.hooks.KillWorker(e.Worker)
+		}
+	case FailRegion:
+		if in.hooks.FailRegion != nil {
+			in.hooks.FailRegion(e.Worker, e.Row, e.Col)
+		}
+	case FlapLink:
+		if in.hooks.FlapLink != nil {
+			in.hooks.FlapLink(e.Worker, e.Level, e.Down)
+		}
+	}
+}

@@ -369,6 +369,27 @@ func (n *Network) send(src, dst, size int, kind Kind, done func(), dfn func(any)
 	sendStep(op)
 }
 
+// FlapLink takes both directions of worker w's level-level link out of
+// service for down simulated time: every transfer slot of the up and down
+// link is seized, so in-flight messages finish but new ones queue behind
+// the outage in deterministic FIFO order — a transient link failure, not
+// a drop (UNIMEM transactions are never lost, only delayed). It reports
+// whether a link was flapped (false for non-tree topologies, which have
+// no per-group links to fail, or an out-of-range level).
+func (n *Network) FlapLink(w, level int, down sim.Time) bool {
+	if n.tree == nil || level < 0 || level >= n.tree.MaxHops() || down <= 0 {
+		return false
+	}
+	group := n.tree.GroupOf(level, w)
+	for dir := 0; dir < 2; dir++ {
+		r := n.link(level, group, dir)
+		for i := 0; i < r.Capacity(); i++ {
+			r.Use(down, nil)
+		}
+	}
+	return true
+}
+
 // rtOp is a pooled request/response exchange.
 type rtOp struct {
 	n        *Network

@@ -29,6 +29,9 @@ type Daemon struct {
 	Trace *trace.Tracer
 	// Reg, when non-nil, receives deploy counters labelled by kernel.
 	Reg *trace.Registry
+	// Live, when non-nil, filters deployment targets to living Workers.
+	// Wired by the fault layer; nil means every Worker is a candidate.
+	Live func(w int) bool
 
 	prov    SchedulerProvider
 	eng     *sim.Engine
@@ -107,6 +110,9 @@ func (d *Daemon) Tick() int {
 			break
 		}
 		w := d.coolestWorker()
+		if w < 0 {
+			break // no living Worker to deploy to
+		}
 		im := d.Library[h.kernel]
 		d.Deploys++
 		d.Trace.Add(trace.Span{Name: "deploy", Cat: trace.CatDaemon,
@@ -125,11 +131,15 @@ func (d *Daemon) Tick() int {
 }
 
 // coolestWorker picks the fabric with the most free regions (ties to the
-// lowest id). Reading free regions must not materialize idle workers, so
-// it goes through the domain's peek-friendly accessor.
+// lowest id), skipping dead Workers; -1 when none are alive. Reading
+// free regions must not materialize idle workers, so it goes through the
+// domain's peek-friendly accessor.
 func (d *Daemon) coolestWorker() int {
-	best, bestFree := 0, -1
+	best, bestFree := -1, -1
 	for w := 0; w < d.prov.NumWorkers(); w++ {
+		if d.Live != nil && !d.Live(w) {
+			continue
+		}
 		free := d.Domain.FreeRegions(w)
 		if free > bestFree {
 			best, bestFree = w, free

@@ -9,6 +9,7 @@
 package rts
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strconv"
@@ -334,6 +335,10 @@ type Scheduler struct {
 	// Reg, when non-nil, receives task counters (labelled by worker,
 	// device, kernel, policy) and the lat.* latency histograms.
 	Reg *trace.Registry
+	// Reroute, when non-nil, receives tasks this Worker can no longer
+	// serve (submitted to or completing on a dead Worker). Wired by the
+	// fault layer to resubmit elsewhere; nil on a healthy machine.
+	Reroute func(*Task, func(Device, error))
 
 	eng        *sim.Engine
 	queue      []queued
@@ -345,6 +350,9 @@ type Scheduler struct {
 	idleCb     func() // hook for the work-stealing layer
 	wlabel     string // lazily cached strconv of Worker for metric labels
 	opFree     *taskOp
+	inflight   []*taskOp // CPU ops with a cancellable completion event
+	dead       bool      // Worker failed: no dispatch, work reroutes
+	paused     bool      // checkpoint quiesce: no new dispatch
 
 	// Time-weighted occupancy integrals (core-ps / slot-ps), folded on
 	// every cpuRunning/hwRunning change; see sim.Resource for the scheme.
@@ -431,6 +439,10 @@ func (s *Scheduler) MeanWait() sim.Time {
 
 // Submit enqueues a task; done fires on completion with the device used.
 func (s *Scheduler) Submit(t *Task, done func(Device, error)) {
+	if s.dead {
+		s.rerouteOrFail(t, done)
+		return
+	}
 	t.ID = s.nextID
 	s.nextID++
 	t.submitted = s.eng.Now()
@@ -450,6 +462,9 @@ func (s *Scheduler) steal() (queued, bool) {
 
 // pump dispatches queued tasks while execution slots are available.
 func (s *Scheduler) pump() {
+	if s.dead || s.paused {
+		return
+	}
 	for len(s.queue) > 0 {
 		t := s.queue[0].task
 		dev := s.Policy.Choose(s, t)
@@ -475,6 +490,8 @@ type taskOp struct {
 	done  func(Device, error)
 	dev   Device
 	start sim.Time
+	ev    sim.EventID // CPU completion event, cancellable on Worker death
+	ix    int         // index into s.inflight; -1 when untracked (HW ops)
 	next  *taskOp
 }
 
@@ -511,6 +528,7 @@ func (s *Scheduler) start(q queued, dev Device) {
 	}
 	op := s.getTaskOp()
 	op.s, op.t, op.done, op.dev, op.start = s, t, q.done, dev, start
+	op.ix = -1
 	if dev == DeviceHW {
 		s.tickBusy()
 		s.hwRunning++
@@ -520,10 +538,27 @@ func (s *Scheduler) start(q queued, dev Device) {
 		}, op.finishHW)
 		return
 	}
-	// CPU path: hold a core for the modelled time, then apply data.
+	// CPU path: hold a core for the modelled time, then apply data. The
+	// completion event stays cancellable so Fail can reclaim the work.
 	s.tickBusy()
 	s.cpuRunning++
-	s.eng.AfterCall(s.CPUModel.Time(t.SWStats), taskCPUDone, op)
+	op.ev = s.eng.AfterCall(s.CPUModel.Time(t.SWStats), taskCPUDone, op)
+	op.ix = len(s.inflight)
+	s.inflight = append(s.inflight, op)
+}
+
+// untrack removes a CPU op from the in-flight set (swap removal, O(1)).
+func (s *Scheduler) untrack(op *taskOp) {
+	i := op.ix
+	if i < 0 || i >= len(s.inflight) || s.inflight[i] != op {
+		return
+	}
+	last := len(s.inflight) - 1
+	s.inflight[i] = s.inflight[last]
+	s.inflight[i].ix = i
+	s.inflight[last] = nil
+	s.inflight = s.inflight[:last]
+	op.ix = -1
 }
 
 // finishHW adapts taskFinish to the accelerator middleware's completion
@@ -536,6 +571,7 @@ func (op *taskOp) finishHW(err error) { taskFinish(op, err) }
 func taskCPUDone(a any) {
 	op := a.(*taskOp)
 	s, t := op.s, op.t
+	s.untrack(op)
 	if s.Meter != nil {
 		s.Meter.Charge("cpu", energy.Joules(t.SWStats.Ops)*s.Meter.Model.CPUOp+
 			energy.Joules(t.SWStats.Loads+t.SWStats.Stores)*s.Meter.Model.CacheAccess)
@@ -564,6 +600,19 @@ func taskFinish(op *taskOp, err error) {
 		s.hwRunning--
 	} else {
 		s.cpuRunning--
+	}
+	if s.dead {
+		// The Worker died while this call was in flight; its result has
+		// no one to retire it. Hand the task to the fault layer.
+		s.rerouteOrFail(t, done)
+		return
+	}
+	if dev == DeviceHW && errors.Is(err, accel.ErrInstanceLost) {
+		// The hosting region failed under the call: not a task failure but
+		// a retry. By now the instance is deregistered, so the policy will
+		// route the replay to a surviving instance or the CPU.
+		s.requeue(t, done)
+		return
 	}
 	s.executed[dev]++
 	now := s.eng.Now()

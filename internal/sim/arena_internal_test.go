@@ -76,3 +76,53 @@ func TestArenaChurnKeepsHandlesIsolated(t *testing.T) {
 		t.Errorf("%d events pending after drain", e.Pending())
 	}
 }
+
+// Repeated worker-death storms — schedule a population, cancel a
+// worker's whole share at once, keep running — must recycle EventID
+// generations cleanly: stale handles stay dead, the arena's high-water
+// mark stabilizes instead of growing per round, and a full drain returns
+// every slot to the free list.
+func TestArenaRecyclesUnderDeathStorms(t *testing.T) {
+	e := NewEngine(1)
+	const workers = 8
+	const perWorker = 250
+	var stale []EventID
+	highWater := 0
+	for round := 0; round < 20; round++ {
+		ids := make([][]EventID, workers)
+		for w := 0; w < workers; w++ {
+			for i := 0; i < perWorker; i++ {
+				ids[w] = append(ids[w], e.At(e.Now()+Time(i+1), func() {}))
+			}
+		}
+		// Two workers die this round; their full pending sets cancel.
+		for _, w := range []int{round % workers, (round + 3) % workers} {
+			for _, id := range ids[w] {
+				e.Cancel(id)
+			}
+			stale = append(stale, ids[w]...)
+		}
+		e.Run(e.Now() + perWorker + 1) // fire the survivors
+		if round == 2 {
+			highWater = len(e.arena)
+		}
+		if round > 2 && len(e.arena) > highWater {
+			t.Fatalf("round %d: arena grew past its steady state (%d -> %d slots)",
+				round, highWater, len(e.arena))
+		}
+	}
+	e.RunUntilIdle()
+	if e.Pending() != 0 {
+		t.Fatalf("%d events pending after storm drain", e.Pending())
+	}
+	if len(e.free) != len(e.arena) {
+		t.Fatalf("free list holds %d of %d slots after drain", len(e.free), len(e.arena))
+	}
+	// Every cancelled generation's handle must stay dead, even though its
+	// slot has been recycled many times since.
+	for _, id := range stale {
+		if e.Cancel(id) {
+			t.Fatal("stale handle from a dead worker cancelled a recycled slot")
+		}
+	}
+}

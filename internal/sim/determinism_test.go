@@ -196,3 +196,88 @@ func TestCancelAfterFireStaleHandle(t *testing.T) {
 		t.Error("recycled-slot event did not fire")
 	}
 }
+
+// workloadDeathStorm drives the kernel with the resilience layer's
+// signature pattern: per-worker event populations, with workers dying at
+// random times and each death cancelling its entire pending set at once
+// (a mass-cancellation storm). Returns (final time, events run, FNV-1a
+// hash of the fired order and per-death cancel counts).
+func workloadDeathStorm(k kernelAPI, seed int64) (sim.Time, uint64, uint64) {
+	rng := rand.New(rand.NewSource(seed))
+	h := fnv.New64a()
+	var buf [8]byte
+	record := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	const workers = 16
+	const budget = 4000
+	pending := make([][]func() bool, workers)
+	dead := make([]bool, workers)
+	spawned := 0
+	var schedule func(w int)
+	schedule = func(w int) {
+		if dead[w] || spawned >= budget {
+			return
+		}
+		spawned++
+		tag := uint64(spawned)
+		pending[w] = append(pending[w], k.At(k.Now()+sim.Time(rng.Intn(60)+1), func() {
+			record(tag)
+			record(uint64(k.Now()))
+			for c := rng.Intn(3); c > 0; c-- {
+				schedule(w)
+			}
+		}))
+	}
+	for w := 0; w < workers; w++ {
+		for i := 0; i < 8; i++ {
+			schedule(w)
+		}
+	}
+	for round := 0; round < 12; round++ {
+		k.Run(k.Now() + sim.Time(rng.Intn(150)+1))
+		w := rng.Intn(workers)
+		if dead[w] {
+			continue
+		}
+		dead[w] = true
+		cancelled := uint64(0)
+		for _, c := range pending[w] {
+			if c() {
+				cancelled++
+			}
+		}
+		pending[w] = nil
+		record(0xDEAD0000 | uint64(w))
+		record(cancelled)
+	}
+	k.Run(sim.Forever)
+	return k.Now(), k.EventsRun(), h.Sum64()
+}
+
+// Mass-cancellation storms must leave both kernels in lockstep: the
+// cancelled generations are discarded identically and the survivors fire
+// in the same order.
+func TestDeathStormDeterminismVsHeapRef(t *testing.T) {
+	for seed := int64(1); seed <= 15; seed++ {
+		nt, nr, nh := workloadDeathStorm(newKernel{sim.NewEngine(1)}, seed)
+		rt, rr, rh := workloadDeathStorm(refKernel{heapref.NewEngine()}, seed)
+		if nt != rt || nr != rr || nh != rh {
+			t.Fatalf("seed %d: kernels diverged under death storm: new=(t=%v run=%d hash=%x) ref=(t=%v run=%d hash=%x)",
+				seed, nt, nr, nh, rt, rr, rh)
+		}
+	}
+}
+
+// The storm must also reproduce against itself (no pool- or free-list-
+// order dependence in the mass-cancel path).
+func TestDeathStormSelfDeterminism(t *testing.T) {
+	a1, b1, c1 := workloadDeathStorm(newKernel{sim.NewEngine(1)}, 77)
+	a2, b2, c2 := workloadDeathStorm(newKernel{sim.NewEngine(1)}, 77)
+	if a1 != a2 || b1 != b2 || c1 != c2 {
+		t.Fatalf("same-seed storms diverged: (%v %d %x) vs (%v %d %x)", a1, b1, c1, a2, b2, c2)
+	}
+}

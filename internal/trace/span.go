@@ -35,6 +35,9 @@ const (
 	CatSteal    = "steal"    // work-stealing probes and transfers
 	CatDaemon   = "daemon"   // reconfiguration-daemon ticks and deploys
 	CatDispatch = "dispatch" // scheduler device decision (instant)
+	CatFault    = "fault"    // injected fault: worker death, region failure, link flap
+	CatRecover  = "recover"  // recovery action: evacuation, re-queue, re-floorplanning
+	CatCkpt     = "ckpt"     // periodic checkpoint snapshot transfer
 )
 
 // Latency-histogram shape shared by the per-stage lat.* registry

@@ -160,6 +160,50 @@ func (d *Domain) Instances(kernel string) []*accel.Instance {
 	return d.instances[kernel]
 }
 
+// Deregister drops an instance from the routing table (eviction or
+// region failure); future Calls no longer consider it. The pending
+// counter for its key is left alone: in-flight calls still decrement it
+// on completion, and a redeploy to the same Worker rightly inherits the
+// backlog. Reports whether the instance was registered.
+func (d *Domain) Deregister(in *accel.Instance) bool {
+	name := in.Impl.Kernel.Name
+	ins := d.instances[name]
+	for i, have := range ins {
+		if have == in {
+			d.instances[name] = append(ins[:i], ins[i+1:]...)
+			if len(d.instances[name]) == 0 {
+				delete(d.instances, name)
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// DeregisterWorker drops every instance hosted on worker w (the Worker
+// died) and returns how many were removed, walking kernels in sorted
+// order for determinism.
+func (d *Domain) DeregisterWorker(w int) int {
+	n := 0
+	for _, name := range d.Kernels() {
+		ins := d.instances[name]
+		kept := ins[:0]
+		for _, in := range ins {
+			if in.Worker == w {
+				n++
+			} else {
+				kept = append(kept, in)
+			}
+		}
+		if len(kept) == 0 {
+			delete(d.instances, name)
+		} else {
+			d.instances[name] = kept
+		}
+	}
+	return n
+}
+
 // Calls returns total and remote (caller != hosting Worker) call counts.
 func (d *Domain) Calls() (total, remote uint64) { return d.calls, d.remoteCalls }
 
