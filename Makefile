@@ -2,9 +2,9 @@
 
 GOFILES := $(shell find . -name '*.go' -not -path './.git/*')
 
-.PHONY: check fmt vet build test race bench bench-json bench-smoke experiments scale-smoke race-soak
+.PHONY: check fmt vet build test race lint bench bench-json bench-smoke experiments scale-smoke race-soak determinism
 
-check: fmt vet build race experiments bench-smoke scale-smoke
+check: fmt vet lint build race experiments bench-smoke scale-smoke determinism
 
 fmt:
 	@out=$$(gofmt -l $(GOFILES)); \
@@ -12,6 +12,23 @@ fmt:
 
 vet:
 	go vet ./...
+
+# staticcheck is required for `make check` (CI installs it; locally:
+# go install honnef.co/go/tools/cmd/staticcheck@latest). The gate fails
+# fast with a clear message instead of a cryptic 127. Set
+# STATICCHECK=skip to bypass on machines that cannot install it.
+lint:
+ifeq ($(STATICCHECK),skip)
+	@echo "lint: staticcheck skipped (STATICCHECK=skip)"
+else
+	@if ! command -v staticcheck > /dev/null 2>&1; then \
+		echo "lint: staticcheck not found."; \
+		echo "  install: go install honnef.co/go/tools/cmd/staticcheck@latest"; \
+		echo "  or bypass: make check STATICCHECK=skip"; \
+		exit 1; \
+	fi
+	staticcheck ./...
+endif
 
 build:
 	go build ./...
@@ -26,9 +43,19 @@ bench:
 	go test -bench . -benchtime 1x ./...
 
 # Full kernel-vs-reference benchmark report (events/sec, ns/event,
-# allocs/event, E-suite wall time). Compare runs across commits to catch
-# hot-path regressions.
+# allocs/event, shard-scaling series, E-suite wall time). Compare runs
+# across commits with cmd/benchcmp to catch hot-path regressions.
+# BENCH_sim.json is a committed baseline: refuse to overwrite it from a
+# dirty tree (the result would mix measured code with unrecorded edits)
+# unless FORCE=1.
 bench-json:
+ifneq ($(FORCE),1)
+	@if ! git diff --quiet HEAD -- . 2> /dev/null; then \
+		echo "bench-json: working tree is dirty; a baseline must be measured from a commit."; \
+		echo "  commit your changes, or override with: make bench-json FORCE=1"; \
+		exit 1; \
+	fi
+endif
 	go run ./cmd/simbench -out BENCH_sim.json
 
 # One-round smoke of the same harness so `make check` notices when a
@@ -47,6 +74,19 @@ experiments:
 # and serve a sparse burst under a hard heap budget.
 scale-smoke:
 	go test -run TestScaleSmoke100k -v .
+
+# Shard-count invariance gate: full ecobench tables must be
+# byte-identical with the parallel conservative-sync engine at 1, 2 and
+# 8 shards. CI's determinism lane runs this plus the property sweeps
+# with raised iteration counts.
+determinism:
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	for k in 1 2 8; do \
+		go run ./cmd/ecobench -quick -parallel 0 -shards $$k > "$$tmp/shards-$$k.txt" || exit 1; \
+	done; \
+	cmp "$$tmp/shards-1.txt" "$$tmp/shards-2.txt" && \
+	cmp "$$tmp/shards-1.txt" "$$tmp/shards-8.txt" && \
+	echo "determinism: ecobench byte-identical at -shards 1/2/8"
 
 # Longer -race pass: soak + determinism property sweeps with the race
 # detector on, for CI's slow lane.

@@ -1,5 +1,5 @@
 // Command ecobench regenerates every experiment table of the ECOSCALE
-// reproduction (E1–E16 plus ablations A1–A5; see DESIGN.md for the
+// reproduction (E1–E17 plus ablations A1–A5; see DESIGN.md for the
 // index and EXPERIMENTS.md for paper-claim vs measured). Each
 // experiment's points fan out over a worker pool; output is
 // byte-identical at every -parallel setting.
@@ -13,6 +13,8 @@
 //	ecobench -parallel 1      # sequential reference run
 //	ecobench -timeout 30s     # per-point timeout
 //	ecobench -progress        # per-point progress + summary on stderr
+//	ecobench -shards 8        # shard the sharding-aware scenarios; output is
+//	                          # byte-identical at every -shards value
 //	ecobench -cpuprofile f    # write a CPU profile of the run to f
 //	ecobench -memprofile f    # write a heap profile (after the run) to f
 //	ecobench -csv             # CSV instead of aligned text
@@ -113,6 +115,7 @@ func mainExit() int {
 	timeout := flag.Duration("timeout", 0, "per-point timeout (0 = none)")
 	progress := flag.Bool("progress", false, "report per-point progress and a runner summary on stderr")
 	quick := flag.Bool("quick", false, "trim the R-series resilience sweeps to a smoke run")
+	shards := flag.Int("shards", 0, "intra-machine shard count for sharding-aware scenarios (0 = single engine); tables are byte-identical at every value")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile (taken after the run) to this file")
 	flag.Parse()
@@ -145,6 +148,11 @@ func mainExit() int {
 	}
 
 	experiments.Quick = *quick
+	if *shards < 0 {
+		log.Print("ecobench: -shards must be >= 0")
+		return 1
+	}
+	experiments.Shards = *shards
 	reg := experiments.Registry()
 	if *list {
 		for _, s := range reg {

@@ -9,6 +9,8 @@
 //	ecosim -kernel montecarlo -tasks 200 -n 8192 -sharing private
 //	ecosim -balance polling -skew    # imbalanced arrival
 //	ecosim -tasks 256 -fault-mtbf 100us -ckpt-interval 50us  # resilience
+//	ecosim -shards 4                 # parallel conservative-sync simulation;
+//	                                 # incompatible with -trace/-profile/-flowtrace
 package main
 
 import (
@@ -47,6 +49,7 @@ func main() {
 	ports := flag.Int("ports", 8, "HLS memory ports for the deployed engine")
 	compress := flag.Bool("compress", true, "compressed bitstream loading")
 	seed := flag.Int64("seed", 1, "simulation seed")
+	shards := flag.Int("shards", 0, "event-engine shards, conservative NoC-lookahead sync (0 = classic single engine)")
 	flowTrace := flag.Bool("flowtrace", false, "print the Fig. 5 layer-interaction trace")
 	flowCap := flag.Int("flowcap", 40, "max layer-interaction events to print with -flowtrace")
 	diagram := flag.Bool("diagram", false, "print Worker 0's Fig. 4 block diagram before running")
@@ -75,6 +78,7 @@ func main() {
 
 	cfg := ecoscale.DefaultConfig(*workers, *nodes)
 	cfg.Seed = *seed
+	cfg.Shards = *shards
 	cfg.CompressedBitstreams = *compress
 	cfg.FlowTrace = *flowTrace
 	cfg.Trace = *traceOut != ""
@@ -135,7 +139,7 @@ func main() {
 		}
 		fmt.Printf("fabric: %v — continuing in software\n", err)
 	} else {
-		fmt.Printf("deployed %s engine (reconfiguration took %v)\n", w.Name, m.Eng.Now())
+		fmt.Printf("deployed %s engine (reconfiguration took %v)\n", w.Name, m.Now())
 	}
 
 	// Reference software run for the op mix.
@@ -148,23 +152,26 @@ func main() {
 	buf := m.Space.Alloc(0, *nSize*8)
 	out := m.Space.Alloc(0, 4096)
 
-	done, taskErrs := 0, 0
-	start := m.Eng.Now()
+	// Completion counters are per-worker: on a sharded machine the
+	// callbacks fire concurrently, one goroutine per shard.
+	doneBy := make([]int, m.Workers())
+	errsBy := make([]int, m.Workers())
+	start := m.Now()
 	for i := 0; i < *tasks; i++ {
 		target := i % m.Workers()
 		if *skew {
 			target = 0
 		}
-		m.Cluster.Submit(target, &rts.Task{
+		m.Submit(target, &rts.Task{
 			Kernel:   w.Name,
 			Bindings: bindings,
 			Reads:    []accel.Span{{Addr: buf, Size: *nSize * 8}},
 			Writes:   []accel.Span{{Addr: out, Size: 64}},
 			SWStats:  stats,
 		}, func(_ rts.Device, err error) {
-			done++
+			doneBy[target]++
 			if err != nil {
-				taskErrs++
+				errsBy[target]++
 			}
 		})
 	}
@@ -179,6 +186,11 @@ func main() {
 		fmt.Printf("armed %d fault events (seed %d)\n", m.InjectFaults(plan), *faultSeed)
 	}
 	end := m.Run()
+	done, taskErrs := 0, 0
+	for w := range doneBy {
+		done += doneBy[w]
+		taskErrs += errsBy[w]
+	}
 	if done != *tasks {
 		log.Fatalf("lost tasks: %d of %d", done, *tasks)
 	}
@@ -191,8 +203,8 @@ func main() {
 	fmt.Printf("%d tasks of %s(N=%d) finished in %v (policy=%s sharing=%s balance=%s)\n\n",
 		*tasks, w.Name, *nSize, end-start, *policy, *sharing, *balance)
 	fmt.Println(m.Report())
-	if m.Cluster.Steals > 0 {
-		fmt.Printf("work stealing: %d steals, %d monitor msgs\n", m.Cluster.Steals, m.Cluster.StealMsgs)
+	if steals, msgs := m.StealStats(); steals > 0 {
+		fmt.Printf("work stealing: %d steals, %d monitor msgs\n", steals, msgs)
 	}
 	if *flowTrace && m.Flow != nil {
 		evs := m.Flow.Events()
@@ -221,13 +233,13 @@ func main() {
 		fmt.Println()
 	}
 	if *metricsOut != "" {
-		if err := writeFile(*metricsOut, m.Reg.WritePrometheus); err != nil {
+		if err := writeFile(*metricsOut, m.Metrics().WritePrometheus); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("wrote metrics to %s\n", *metricsOut)
 	}
 	if *metricsJSON != "" {
-		if err := writeFile(*metricsJSON, m.Reg.WriteJSON); err != nil {
+		if err := writeFile(*metricsJSON, m.Metrics().WriteJSON); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("wrote metrics to %s\n", *metricsJSON)

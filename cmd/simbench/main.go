@@ -69,6 +69,24 @@ type report struct {
 	ESuite    *esuiteResult      `json:"esuite,omitempty"`
 	RSuite    *esuiteResult      `json:"r_suite_wall,omitempty"`
 	Footprint []footprintResult  `json:"machine_footprint,omitempty"`
+	// ShardScaling times the conservative-sync engine group at growing
+	// shard counts on a fixed workload. Procs records the host
+	// parallelism actually available: with procs=1 the series measures
+	// sharding overhead (barriers + cross-shard mail), not speedup, and
+	// benchcmp treats wall-clock fields as incomparable across hosts
+	// with different procs.
+	ShardScaling []shardScalingResult `json:"shard_scaling,omitempty"`
+}
+
+// shardScalingResult is one point of the shard-scaling series.
+type shardScalingResult struct {
+	Shards       int     `json:"shards"`
+	Procs        int     `json:"procs"`
+	Events       uint64  `json:"events"`
+	WallSeconds  float64 `json:"wall_seconds"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	Speedup      float64 `json:"speedup_vs_1_shard"`
+	Checksum     string  `json:"checksum"` // must match across all shard counts
 }
 
 // footprintResult is one point of the flyweight weak-scaling series:
@@ -308,6 +326,58 @@ func footprintSeries(quick bool) []footprintResult {
 	return out
 }
 
+// shardScalingSeries runs the WeakScaling workload at growing shard
+// counts, keeping the workload fixed so the ratio to the 1-shard point
+// is the parallel speedup (or, on a single-CPU host, the sharding
+// overhead). The per-CN completion checksum must be identical at every
+// shard count — a mismatch is a determinism bug, not a perf result, and
+// aborts the benchmark.
+func shardScalingSeries(quick bool, rounds int) []shardScalingResult {
+	tasks := 2000
+	if quick {
+		tasks = 300
+	}
+	procs := runtime.GOMAXPROCS(0)
+	var out []shardScalingResult
+	var base float64
+	for _, k := range []int{1, 2, 4, 8} {
+		w := sim.WeakScaling{
+			Shards: k, CNs: 32, WorkersPerCN: 4,
+			TasksPerWork: tasks, CrossPermil: 50, Seed: 1,
+		}
+		var best shardScalingResult
+		for r := 0; r < rounds; r++ {
+			runtime.GC()
+			t0 := time.Now()
+			res := w.Run()
+			wall := time.Since(t0)
+			cur := shardScalingResult{
+				Shards:       k,
+				Procs:        procs,
+				Events:       res.Events,
+				WallSeconds:  wall.Seconds(),
+				EventsPerSec: float64(res.Events) / wall.Seconds(),
+				Checksum:     fmt.Sprintf("%016x", res.Checksum),
+			}
+			if r == 0 || cur.WallSeconds < best.WallSeconds {
+				best = cur
+			}
+		}
+		if len(out) > 0 && best.Checksum != out[0].Checksum {
+			log.Fatalf("shard_scaling: checksum diverged at %d shards: %s vs %s",
+				k, best.Checksum, out[0].Checksum)
+		}
+		if base == 0 {
+			base = best.EventsPerSec
+		}
+		best.Speedup = best.EventsPerSec / base
+		out = append(out, best)
+		fmt.Fprintf(os.Stderr, "shard_scaling k=%d %12.0f ev/s  speedup %.2fx  (procs=%d)\n",
+			k, best.EventsPerSec, best.Speedup, procs)
+	}
+	return out
+}
+
 // esuiteWall runs the selected experiments sequentially through the
 // production runner and reports wall time plus completed point count.
 func esuiteWall(ids []string, parallel int) (*esuiteResult, error) {
@@ -394,6 +464,7 @@ func main() {
 	}
 
 	rep.Footprint = footprintSeries(*quick)
+	rep.ShardScaling = shardScalingSeries(*quick, *rounds)
 
 	if *esuite != "" {
 		es, err := esuiteWall(strings.Split(*esuite, ","), *parallel)

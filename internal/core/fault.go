@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"ecoscale/internal/accel"
 	"ecoscale/internal/fault"
@@ -24,18 +25,20 @@ import (
 // built before this file existed.
 
 // faultState is the machine's armed-faults extension, nil until needed.
+// The dead bitmap is atomic: on a sharded machine a kill executes at the
+// victim's LP while buddy searches read the bitmap from other LPs.
 type faultState struct {
 	injector  *fault.Injector
 	ckpt      *fault.Checkpointer
 	ckptCfg   fault.CheckpointConfig
-	dead      []bool
-	deadCount int
+	dead      []atomic.Bool
+	deadCount atomic.Int32
 }
 
 // WorkerLive reports whether Worker w is alive (always true before any
 // fault is armed or injected).
 func (m *Machine) WorkerLive(w int) bool {
-	return m.faults == nil || !m.faults.dead[w]
+	return m.faults == nil || !m.faults.dead[w].Load()
 }
 
 // DeadWorkers returns how many Workers have been killed.
@@ -43,7 +46,7 @@ func (m *Machine) DeadWorkers() int {
 	if m.faults == nil {
 		return 0
 	}
-	return m.faults.deadCount
+	return int(m.faults.deadCount.Load())
 }
 
 // Busy reports whether any Worker has queued or running tasks.
@@ -65,10 +68,12 @@ func (m *Machine) armFaults(ckptCfg fault.CheckpointConfig) *faultState {
 		return m.faults
 	}
 	m.faults = &faultState{
-		dead:    make([]bool, m.Workers()),
+		dead:    make([]atomic.Bool, m.Workers()),
 		ckptCfg: ckptCfg.Norm(),
 	}
-	m.Daemon.Live = m.WorkerLive
+	if m.Daemon != nil {
+		m.Daemon.Live = m.WorkerLive
+	}
 	m.EachManager(func(mgr *accel.Manager) { mgr.OnUnload = m.domainUnload })
 	return m.faults
 }
@@ -76,7 +81,7 @@ func (m *Machine) armFaults(ckptCfg fault.CheckpointConfig) *faultState {
 // domainUnload is the Manager.OnUnload hook: any instance leaving a
 // fabric (eviction, migration, failure) leaves the routing table too.
 func (m *Machine) domainUnload(in *accel.Instance) {
-	m.Domain.Deregister(in)
+	m.domainOf(in.Worker).Deregister(in)
 }
 
 // InjectFaults expands and arms a fault plan. It returns the number of
@@ -88,18 +93,42 @@ func (m *Machine) InjectFaults(p *fault.Plan) int {
 	}
 	fs := m.armFaults(p.Checkpoint)
 	if fs.injector == nil {
-		fs.injector = fault.NewInjector(m.Eng, fault.Hooks{
+		hooks := fault.Hooks{
 			KillWorker: m.KillWorker,
 			FailRegion: m.FailFabricRegion,
 			FlapLink:   m.FlapLink,
-		})
+		}
+		if m.Grp != nil {
+			// The injector's timers tick on the control LP; each fault
+			// hops to the LP owning the state it mutates, one lookahead
+			// late — the injection schedule stays deterministic, and the
+			// mutation runs where the conservative protocol requires.
+			hooks = fault.Hooks{
+				KillWorker: func(w int) {
+					m.hopFromCtrl(m.workerLP(w), func() { m.KillWorker(w) })
+				},
+				FailRegion: func(w, row, col int) {
+					m.hopFromCtrl(m.workerLP(w), func() { m.FailFabricRegion(w, row, col) })
+				},
+				FlapLink: func(w, level int, down sim.Time) {
+					m.hopFromCtrl(m.Net.LinkOwnerLP(w, level), func() { m.FlapLink(w, level, down) })
+				},
+			}
+		}
+		fs.injector = fault.NewInjector(m.Eng, hooks)
 	}
 	events := p.Schedule(fault.Shape{
 		Workers: m.Workers(),
 		Rows:    m.Cfg.Fabric.Rows, Cols: m.Cfg.Fabric.Cols,
 		Levels: m.Tree.MaxHops(),
 	})
+	if m.Grp != nil && !m.Grp.Running() {
+		m.Eng.SetupLP(m.ctrlLP)
+	}
 	n := fs.injector.Arm(events)
+	if m.Grp != nil && p.Checkpoint.Interval > 0 {
+		panic("core: checkpointing is a single-engine feature; disable it or set Shards to 0")
+	}
 	if p.Checkpoint.Interval > 0 && fs.ckpt == nil {
 		fs.ckpt = fault.NewCheckpointer(m.Eng, p.Checkpoint, fault.CkptHooks{
 			Busy:    m.Busy,
@@ -128,7 +157,7 @@ func (m *Machine) InjectFaults(p *fault.Plan) int {
 func (m *Machine) checkpointWorkers() []int {
 	var ws []int
 	m.EachSched(func(s *rts.Scheduler) {
-		if !m.faults.dead[s.Worker] && s.Outstanding() > 0 {
+		if !m.faults.dead[s.Worker].Load() && s.Outstanding() > 0 {
 			ws = append(ws, s.Worker)
 		}
 	})
@@ -141,7 +170,7 @@ func (m *Machine) nextLive(w int) int {
 	n := m.Workers()
 	for i := 1; i < n; i++ {
 		c := (w + i) % n
-		if !m.faults.dead[c] {
+		if !m.faults.dead[c].Load() {
 			return c
 		}
 	}
@@ -155,18 +184,23 @@ func (m *Machine) nextLive(w int) int {
 // tasks resubmit to that buddy after the restart penalty — a checkpoint
 // restore plus partial recompute when checkpointing ran, a full
 // recompute bill when it did not. Idempotent per Worker.
+// On a sharded machine KillWorker must execute at w's LP (the injector's
+// hook arranges this); resubmission to the buddy hops across the
+// interconnect, so recovery timing — unlike every healthy-path
+// observable — is not shard-count-invariant.
 func (m *Machine) KillWorker(w int) {
 	fs := m.armFaults(fault.CheckpointConfig{})
-	if w < 0 || w >= m.Workers() || fs.dead[w] {
+	if w < 0 || w >= m.Workers() || !fs.dead[w].CompareAndSwap(false, true) {
 		return
 	}
-	fs.dead[w] = true
-	fs.deadCount++
-	now := m.Eng.Now()
+	fs.deadCount.Add(1)
+	eng := m.engOf(w)
+	reg := m.regOf(w)
+	now := eng.Now()
 	m.Tracer.Add(trace.Span{Name: "kill-worker", Cat: trace.CatFault,
 		Start: int64(now), End: int64(now),
 		PID: trace.WorkerPID(w), TID: trace.TIDCPU})
-	m.Reg.Counter("fault.worker_deaths").Inc()
+	reg.Counter("fault.worker_deaths").Inc()
 	m.Flow.Add(int64(now), "fault", "worker %d fail-stopped", w)
 
 	// Fabric side: every instance on w is lost; in-flight calls on them
@@ -177,7 +211,7 @@ func (m *Machine) KillWorker(w int) {
 		}
 		lost := mgr.FailAll()
 		if len(lost) > 0 {
-			m.Reg.Counter("fault.modules_lost").Add(uint64(len(lost)))
+			reg.Counter("fault.modules_lost").Add(uint64(len(lost)))
 		}
 	}
 
@@ -187,7 +221,7 @@ func (m *Machine) KillWorker(w int) {
 	if target >= 0 {
 		t := target
 		s.Reroute = func(task *rts.Task, done func(rts.Device, error)) {
-			m.Cluster.Submit(t, task, done)
+			m.submitFrom(w, t, task, done)
 		}
 	}
 	evacs := s.Fail()
@@ -201,20 +235,21 @@ func (m *Machine) KillWorker(w int) {
 		return
 	}
 
-	wg := sim.NewWaitGroup(m.Eng, 2)
+	wg := sim.NewWaitGroup(eng, 2)
 	wg.Wait(func() {
-		end := m.Eng.Now()
+		end := eng.Now()
 		m.Tracer.Add(trace.Span{Name: "evacuate", Cat: trace.CatRecover,
 			Start: int64(now), End: int64(end),
 			PID: trace.WorkerPID(w), TID: trace.TIDCPU, Arg: int64(target)})
-		trace.LatencyHistogram(m.Reg, "lat.evac_us").Observe((end - now).Micros())
+		trace.LatencyHistogram(reg, "lat.evac_us").Observe((end - now).Micros())
 	})
 
-	// Memory side: the dead Worker's pages stream to the buddy.
+	// Memory side: the dead Worker's pages stream to the buddy. The
+	// completion lands back at w's LP (see unimem/evacuate.go).
 	m.Space.EvacuateWorker(w, target, func(pages int, bytes int64) {
 		if pages > 0 {
-			m.Reg.Counter("fault.pages_evacuated").Add(uint64(pages))
-			m.Reg.Counter("fault.bytes_evacuated").Add(uint64(bytes))
+			reg.Counter("fault.pages_evacuated").Add(uint64(pages))
+			reg.Counter("fault.bytes_evacuated").Add(uint64(bytes))
 		}
 		wg.DoneOne()
 	})
@@ -222,8 +257,8 @@ func (m *Machine) KillWorker(w int) {
 	// Task side: resubmit after the restart penalty.
 	resubmit := func() {
 		for _, e := range evacs {
-			m.Reg.Counter("fault.tasks_evacuated").Inc()
-			m.Cluster.Submit(target, e.Task, e.Done)
+			reg.Counter("fault.tasks_evacuated").Inc()
+			m.submitFrom(w, target, e.Task, e.Done)
 		}
 		wg.DoneOne()
 	}
@@ -231,14 +266,27 @@ func (m *Machine) KillWorker(w int) {
 	if fs.ckpt != nil && fs.ckpt.Has(w) {
 		// Restore the snapshot at the buddy, then redo the work since it.
 		recompute := sim.Time(frac * float64(now-fs.ckpt.LastAt(w)))
-		m.Reg.Counter("fault.restores").Inc()
+		reg.Counter("fault.restores").Inc()
 		m.Net.DMATransfer(target, target, fs.ckptCfg.Bytes, noc.DefaultDMAConfig(), func() {
-			m.Eng.After(recompute, resubmit)
+			eng.After(recompute, resubmit)
 		})
 	} else {
 		// No checkpoint: the Worker's whole history is gone.
-		m.Eng.After(sim.Time(frac*float64(now)), resubmit)
+		eng.After(sim.Time(frac*float64(now)), resubmit)
 	}
+}
+
+// submitFrom enqueues a task on Worker to's scheduler from code running
+// at Worker from's LP, hopping across the interconnect when the two live
+// on different Compute Nodes.
+func (m *Machine) submitFrom(from, to int, task *rts.Task, done func(rts.Device, error)) {
+	if m.Grp == nil || m.workerLP(from) == m.workerLP(to) {
+		m.clusterOf(to).Submit(to, task, done)
+		return
+	}
+	m.netOf(from).HopToWorker(to, func() {
+		m.clusterOf(to).Submit(to, task, done)
+	})
 }
 
 // FailFabricRegion permanently disables region (row, col) of Worker w's
@@ -247,16 +295,20 @@ func (m *Machine) KillWorker(w int) {
 // same Worker — or, when even the compacted fabric cannot host it, left
 // to software execution (the policy layer degrades to CPU on its own
 // once no instance is registered).
+// On a sharded machine FailFabricRegion must execute at w's LP (the
+// injector's hook arranges this).
 func (m *Machine) FailFabricRegion(w, row, col int) {
 	fs := m.armFaults(fault.CheckpointConfig{})
-	if w < 0 || w >= m.Workers() || fs.dead[w] {
+	if w < 0 || w >= m.Workers() || fs.dead[w].Load() {
 		return
 	}
-	now := m.Eng.Now()
+	eng := m.engOf(w)
+	reg := m.regOf(w)
+	now := eng.Now()
 	m.Tracer.Add(trace.Span{Name: "fail-region", Cat: trace.CatFault,
 		Start: int64(now), End: int64(now),
 		PID: trace.WorkerPID(w), TID: trace.TIDFabric, Arg: int64(row*m.Cfg.Fabric.Cols + col)})
-	m.Reg.Counter("fault.region_failures").Inc()
+	reg.Counter("fault.region_failures").Inc()
 	m.Flow.Add(int64(now), "fault", "worker %d fabric region (%d,%d) failed", w, row, col)
 	mgr := m.Manager(w)
 	if mgr.OnUnload == nil {
@@ -266,36 +318,43 @@ func (m *Machine) FailFabricRegion(w, row, col int) {
 	if len(lost) == 0 {
 		return
 	}
-	m.Reg.Counter("fault.modules_lost").Add(uint64(len(lost)))
+	reg.Counter("fault.modules_lost").Add(uint64(len(lost)))
 	// Re-floorplan the survivors around the hole, then bring the lost
 	// modules back if the compacted fabric still has room.
 	mgr.Fab.Defragment()
 	for _, in := range lost {
 		in := in
-		m.Domain.Deploy(w, in.Impl, func(_ *accel.Instance, err error) {
+		m.domainOf(w).Deploy(w, in.Impl, func(_ *accel.Instance, err error) {
 			name := in.Impl.Kernel.Name
 			if err != nil {
-				m.Reg.Counter("fault.sw_fallbacks").Inc()
-				m.Flow.Add(int64(m.Eng.Now()), "fault", "%s@w%d not redeployable (%v); software fallback", name, w, err)
+				reg.Counter("fault.sw_fallbacks").Inc()
+				m.Flow.Add(int64(eng.Now()), "fault", "%s@w%d not redeployable (%v); software fallback", name, w, err)
 				return
 			}
-			m.Reg.Counter("fault.modules_redeployed").Inc()
+			reg.Counter("fault.modules_redeployed").Inc()
 			m.Tracer.Add(trace.Span{Name: "redeploy", Cat: trace.CatRecover,
-				Start: int64(now), End: int64(m.Eng.Now()),
+				Start: int64(now), End: int64(eng.Now()),
 				PID: trace.WorkerPID(w), TID: trace.TIDFabric, Detail: name})
 		})
 	}
 }
 
 // FlapLink takes Worker w's level-level uplink out of service for down
-// simulated time; traffic queues behind the outage.
+// simulated time; traffic queues behind the outage. On a sharded machine
+// it must execute at the link's owner LP (Net.LinkOwnerLP; the
+// injector's hook arranges this) and flaps the owner shard's instance.
 func (m *Machine) FlapLink(w, level int, down sim.Time) {
-	if m.Net.FlapLink(w, level, down) {
-		now := m.Eng.Now()
+	n := m.Net
+	if m.Grp != nil {
+		n = m.nets[m.Grp.ShardOf(m.Net.LinkOwnerLP(w, level))]
+	}
+	if n.FlapLink(w, level, down) {
+		eng := n.Engine()
+		now := eng.Now()
 		m.Tracer.Add(trace.Span{Name: "flap-link", Cat: trace.CatFault,
 			Start: int64(now), End: int64(now + down),
 			PID: trace.WorkerPID(w), TID: trace.TIDDMA, Arg: int64(level)})
-		m.Reg.Counter("fault.link_flaps").Inc()
+		n.Reg().Counter("fault.link_flaps").Inc()
 		m.Flow.Add(int64(now), "fault", "worker %d level-%d link down for %v", w, level, down)
 	}
 }
@@ -306,11 +365,12 @@ func (m *Machine) faultReport() string {
 	if m.faults == nil {
 		return ""
 	}
+	reg := m.mergedReg()
 	var b strings.Builder
 	fmt.Fprintf(&b, "faults: %d worker deaths, %d region failures, %d link flaps\n",
-		m.Reg.CounterTotal("fault.worker_deaths"),
-		m.Reg.CounterTotal("fault.region_failures"),
-		m.Reg.CounterTotal("fault.link_flaps"))
+		reg.CounterTotal("fault.worker_deaths"),
+		reg.CounterTotal("fault.region_failures"),
+		reg.CounterTotal("fault.link_flaps"))
 	type row struct{ label, key string }
 	rows := []row{
 		{"tasks evacuated", "fault.tasks_evacuated"},
@@ -324,11 +384,11 @@ func (m *Machine) faultReport() string {
 		{"restores", "fault.restores"},
 	}
 	for _, r := range rows {
-		if v := m.Reg.CounterTotal(r.key); v > 0 {
+		if v := reg.CounterTotal(r.key); v > 0 {
 			fmt.Fprintf(&b, "  %-20s %d\n", r.label, v)
 		}
 	}
-	if h := m.Reg.FindHistogram("lat.evac_us"); h != nil && h.Count() > 0 {
+	if h := reg.FindHistogram("lat.evac_us"); h != nil && h.Count() > 0 {
 		fmt.Fprintf(&b, "  %-20s p50 %.1fus max %.1fus\n", "evacuation latency", h.Quantile(0.5), h.Max())
 	}
 	return b.String()
@@ -341,8 +401,8 @@ func (m *Machine) sortedDead() []int {
 		return nil
 	}
 	var out []int
-	for w, d := range m.faults.dead {
-		if d {
+	for w := range m.faults.dead {
+		if m.faults.dead[w].Load() {
 			out = append(out, w)
 		}
 	}

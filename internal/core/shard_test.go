@@ -1,0 +1,168 @@
+package core_test
+
+// Whole-machine shard-count invariance: the same machine configuration
+// driven by the same workload must produce identical simulated time,
+// event count and per-worker execution splits whether the Compute Nodes
+// run on one engine or many. This is the top of the determinism pyramid —
+// the sim kernel, interconnect and UNIMEM layers each have their own
+// invariance tests; this one exercises them assembled, including the
+// work-stealing runtime and the task-completion plumbing.
+
+import (
+	"testing"
+
+	"ecoscale/internal/core"
+	"ecoscale/internal/fault"
+	"ecoscale/internal/hls"
+	"ecoscale/internal/rts"
+	"ecoscale/internal/sim"
+)
+
+type machineTrace struct {
+	end     sim.Time
+	events  uint64
+	cpu, hw uint64
+	done    uint64
+	readsum uint64
+}
+
+// runMachineTrace drives a 32-worker / 8-node machine sharded k ways:
+// a skewed CPU task soup (most load on Compute Node 0, so intra-node
+// stealing fires) plus cross-node UNIMEM reads racing the tasks.
+func runMachineTrace(t *testing.T, k int) machineTrace {
+	t.Helper()
+	cfg := core.DefaultConfig(4, 8)
+	cfg.Seed = 7
+	cfg.Shards = k
+	m := core.New(cfg)
+
+	nCN := m.Tree.NumComputeNodes()
+	addrs := make([]uint64, nCN)
+	for cn := 0; cn < nCN; cn++ {
+		lo, _ := m.Tree.WorkersIn(1, cn)
+		addrs[cn] = m.Space.Alloc(lo, m.Space.PageBytes())
+	}
+
+	workers := m.Workers()
+	doneAt := make([]uint64, workers)
+	got := make([]uint64, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		tasks := 3
+		if w%4 == 0 {
+			tasks = 9 // skew: first worker of each node gets triple load
+		}
+		for i := 0; i < tasks; i++ {
+			ops := uint64(400 + 100*((w+i)%5))
+			m.Submit(w, &rts.Task{
+				Kernel:   "cpuwork",
+				Bindings: map[string]float64{},
+				SWStats:  hls.RunStats{Ops: ops, Loads: ops / 4, Stores: ops / 8},
+			}, func(rts.Device, error) { doneAt[w]++ })
+		}
+		cn := m.Tree.ComputeNodeOf(w)
+		from := addrs[(cn+nCN-1)%nCN] + uint64(16*(w%16))
+		lp := int32(cn)
+		if m.Grp != nil {
+			m.Grp.At(lp, sim.Time(50*w)*sim.Nanosecond, func() {
+				m.Space.ReadWord(w, from, func(v uint64) { got[w] = v + uint64(w) })
+			})
+		} else {
+			m.Eng.At(sim.Time(50*w)*sim.Nanosecond, func() {
+				m.Space.ReadWord(w, from, func(v uint64) { got[w] = v + uint64(w) })
+			})
+		}
+	}
+
+	var tr machineTrace
+	tr.end = m.Run()
+	tr.events = m.EventsRun()
+	m.EachSched(func(s *rts.Scheduler) {
+		tr.cpu += s.Executed(rts.DeviceCPU)
+		tr.hw += s.Executed(rts.DeviceHW)
+	})
+	for w := 0; w < workers; w++ {
+		tr.done += doneAt[w]
+		tr.readsum = tr.readsum*31 + got[w]
+	}
+	return tr
+}
+
+func TestMachineShardInvariance(t *testing.T) {
+	want := runMachineTrace(t, 1)
+	if want.done == 0 || want.cpu == 0 {
+		t.Fatalf("baseline ran no tasks: %+v", want)
+	}
+	for _, k := range []int{2, 3, 8} {
+		if got := runMachineTrace(t, k); got != want {
+			t.Fatalf("shards=%d diverged: %+v, want %+v", k, got, want)
+		}
+	}
+}
+
+// TestMachineShardedFaultStorm: worker deaths and link flaps on a
+// sharded machine must complete recovery without losing tasks. Recovery
+// timing legitimately varies with the shard count (cross-node
+// resubmission pays lookahead hops), so this asserts conservation, not
+// byte-identity.
+func TestMachineShardedFaultStorm(t *testing.T) {
+	cfg := core.DefaultConfig(4, 8)
+	cfg.Seed = 11
+	cfg.Shards = 4
+	m := core.New(cfg)
+
+	workers := m.Workers()
+	var ok, lost [64]uint64
+	for w := 0; w < workers; w++ {
+		w := w
+		for i := 0; i < 4; i++ {
+			ops := uint64(2000 + 500*(i%3))
+			m.Submit(w, &rts.Task{
+				Kernel:   "cpuwork",
+				Bindings: map[string]float64{},
+				SWStats:  hls.RunStats{Ops: ops, Loads: ops / 4, Stores: ops / 8},
+			}, func(_ rts.Device, err error) {
+				if err != nil {
+					lost[w]++
+				} else {
+					ok[w]++
+				}
+			})
+		}
+	}
+	plan := &fault.Plan{
+		Events: []fault.Event{
+			{At: 2 * sim.Microsecond, Kind: fault.KillWorker, Worker: 5},
+			{At: 3 * sim.Microsecond, Kind: fault.KillWorker, Worker: 17},
+			{At: 4 * sim.Microsecond, Kind: fault.FlapLink, Worker: 9, Level: 1, Down: 2 * sim.Microsecond},
+			{At: 5 * sim.Microsecond, Kind: fault.KillWorker, Worker: 30},
+		},
+	}
+	if n := m.InjectFaults(plan); n != 4 {
+		t.Fatalf("armed %d fault events, want 4", n)
+	}
+	m.Run()
+	if m.DeadWorkers() != 3 {
+		t.Fatalf("%d dead workers, want 3", m.DeadWorkers())
+	}
+	var completed, failed uint64
+	for w := 0; w < workers; w++ {
+		completed += ok[w]
+		failed += lost[w]
+	}
+	if completed+failed != uint64(4*workers) {
+		t.Fatalf("task conservation broken: %d ok + %d failed != %d submitted",
+			completed, failed, 4*workers)
+	}
+	if completed == 0 {
+		t.Fatal("no tasks completed under the fault storm")
+	}
+	reg := m.Metrics()
+	if reg.CounterTotal("fault.worker_deaths") != 3 {
+		t.Fatalf("merged registry reports %d deaths, want 3",
+			reg.CounterTotal("fault.worker_deaths"))
+	}
+	if m.Report() == "" {
+		t.Fatal("empty report")
+	}
+}

@@ -1,0 +1,96 @@
+package experiments
+
+// E17: the sharded conservative-sync machine. Earlier scenarios measure
+// what the architecture does; this one measures that the simulator's
+// parallel decomposition does not change it. Every cell is an integer
+// (or a float derived from integers), so the table is byte-identical at
+// any -shards value — the property the CI determinism lane enforces by
+// diffing full ecobench runs at -shards 1, 2 and 8.
+
+import (
+	"context"
+	"fmt"
+
+	"ecoscale/internal/core"
+	"ecoscale/internal/hls"
+	"ecoscale/internal/rts"
+	"ecoscale/internal/runner"
+	"ecoscale/internal/sim"
+)
+
+// scenE17 drives a skewed CPU task soup plus cross-node UNIMEM reads on
+// a machine built with the configured shard count, and reports only
+// schedule-invariant quantities: completion counts, remote-access
+// counts, the total event count and the makespan.
+func scenE17() runner.Scenario {
+	return runner.Scenario{
+		ID: "E17", Title: "Sharded conservative-sync machine", Source: "§2(1) simulator scalability",
+		Table:   "E17: full-machine task soup under intra-machine sharding (invariant to -shards)",
+		Columns: []string{"workers", "nodes", "tasks", "remote reads", "events", "makespan", "tasks/us"},
+		Points: func() ([]runner.Point, error) {
+			var pts []runner.Point
+			for _, fan := range [][2]int{{4, 2}, {4, 4}, {4, 8}, {8, 8}} {
+				fan := fan
+				pts = append(pts, runner.Point{
+					Label: fmt.Sprintf("fan=[%d %d]", fan[0], fan[1]),
+					Run: func(context.Context) (runner.Row, error) {
+						cfg := core.DefaultConfig(fan[0], fan[1])
+						cfg.Seed = 3
+						cfg.Shards = Shards
+						if cfg.Shards < 1 {
+							cfg.Shards = 1
+						}
+						m := core.New(cfg)
+
+						nCN := m.Tree.NumComputeNodes()
+						addrs := make([]uint64, nCN)
+						for cn := 0; cn < nCN; cn++ {
+							lo, _ := m.Tree.WorkersIn(1, cn)
+							addrs[cn] = m.Space.Alloc(lo, m.Space.PageBytes())
+						}
+
+						workers := m.Workers()
+						done := make([]int, workers) // per-worker: shards run concurrently
+						reads := make([]int, workers)
+						submitted := 0
+						for w := 0; w < workers; w++ {
+							w := w
+							tasks := 2
+							if w%fan[0] == 0 {
+								tasks = 6 // skew the first worker of each node so stealing fires
+							}
+							for i := 0; i < tasks; i++ {
+								ops := uint64(600 + 200*((w+i)%4))
+								m.Submit(w, &rts.Task{
+									Kernel:   "soup",
+									Bindings: map[string]float64{},
+									SWStats:  hls.RunStats{Ops: ops, Loads: ops / 4, Stores: ops / 8},
+								}, func(rts.Device, error) { done[w]++ })
+								submitted++
+							}
+							cn := m.Tree.ComputeNodeOf(w)
+							from := addrs[(cn+1)%nCN] + uint64(8*(w%32))
+							m.Grp.At(int32(cn), sim.Time(40*w)*sim.Nanosecond, func() {
+								m.Space.ReadWord(w, from, func(uint64) { reads[w]++ })
+							})
+						}
+
+						end := m.Run()
+						finished := 0
+						for _, d := range done {
+							finished += d
+						}
+						if finished != submitted {
+							return runner.Row{}, fmt.Errorf("E17: lost tasks: %d of %d", finished, submitted)
+						}
+						remote := m.Metrics().CounterTotal("unimem.remote_reads")
+						thr := float64(finished) / end.Micros()
+						return runner.R(workers, nCN, finished, remote, m.EventsRun(),
+							fmt.Sprint(end), fmt.Sprintf("%.2f", thr)), nil
+					},
+				})
+			}
+			return pts, nil
+		},
+	}
+}

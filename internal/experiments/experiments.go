@@ -21,12 +21,20 @@ import (
 // sample.
 var Quick bool
 
+// Shards selects the intra-machine shard count for the scenarios that
+// build sharded simulations (E2's weak-scaling engines, E17's sharded
+// machine). Their tables are shard-count-invariant: any value >= 1
+// produces byte-identical output, which the CI determinism lane checks
+// by diffing full ecobench runs at -shards 1, 2 and 8. Zero (the
+// default) keeps the classic single-engine construction.
+var Shards int
+
 // Registry returns all experiment scenarios in order.
 func Registry() []runner.Scenario {
 	return []runner.Scenario{
 		scenE1(), scenE2(), scenE3(), scenE4(), scenE5(), scenE6(),
 		scenE7(), scenE8(), scenE9(), scenE10(), scenE11(), scenE12(),
-		scenE13(), scenE14(), scenE15(), scenE16(),
+		scenE13(), scenE14(), scenE15(), scenE16(), scenE17(),
 		scenA1(), scenA2(), scenA3(), scenA4(), scenA5(),
 		scenR1(), scenR2(), scenR3(), scenR4(),
 	}

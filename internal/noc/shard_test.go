@@ -1,0 +1,140 @@
+package noc_test
+
+// Shard-count invariance of the sharded interconnect walk: the same traffic
+// pattern must produce identical delivery times — for messages, round
+// trips, DMA transfers, and load/store streams — at every shard count.
+
+import (
+	"hash/fnv"
+	"math/rand"
+	"testing"
+
+	"ecoscale/internal/noc"
+	"ecoscale/internal/sim"
+	"ecoscale/internal/topo"
+)
+
+// nocShardTrace drives a seeded mix of cross- and intra-CN traffic on a
+// [4, 4, 2]-tree (8 CNs of 4 workers) sharded K ways and returns (final
+// time, events, delivery-trace hash). The hash folds each delivery's
+// (source CN, tag, time), accumulated per destination CN so the merge
+// order is canonical.
+func nocShardTrace(t *testing.T, shards int, seed int64) (sim.Time, uint64, uint64) {
+	t.Helper()
+	tree := topo.NewTree(4, 4, 2)
+	nCN := tree.NumComputeNodes()
+	cfg := noc.DefaultConfig(tree.MaxHops())
+	g := sim.NewGroup(seed, noc.MinLookahead(cfg), sim.BlockPartition(nCN, shards))
+	nets := noc.ShardNetworks(g, tree, cfg, nil, nil)
+
+	hashes := make([]uint64, nCN)
+	record := func(dst int, tag uint64) {
+		cn := tree.ComputeNodeOf(dst)
+		now := uint64(nets[0].For(dst).Engine().Now())
+		h := hashes[cn]
+		for _, v := range []uint64{tag, now} {
+			for i := 0; i < 8; i++ {
+				h ^= (v >> (8 * i)) & 0xff
+				h *= 1099511628211
+			}
+		}
+		hashes[cn] = h
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	nw := tree.NumWorkers()
+	for i := 0; i < 400; i++ {
+		src := rng.Intn(nw)
+		dst := rng.Intn(nw)
+		at := sim.Time(rng.Intn(5000)) * sim.Nanosecond
+		size := 16 + rng.Intn(512)
+		tag := uint64(i)
+		srcLP := int32(tree.ComputeNodeOf(src))
+		n := nets[g.ShardOf(srcLP)]
+		switch i % 4 {
+		case 0:
+			g.At(srcLP, at, func() {
+				n.Send(src, dst, size, noc.Store, func() { record(dst, tag) })
+			})
+		case 1:
+			g.At(srcLP, at, func() {
+				n.RoundTrip(src, dst, 64, size, noc.Load, func() { record(src, tag<<8|1) })
+			})
+		case 2:
+			g.At(srcLP, at, func() {
+				n.DMATransfer(src, dst, size*16, noc.DefaultDMAConfig(), func() { record(src, tag<<8|2) })
+			})
+		default:
+			g.At(srcLP, at, func() {
+				n.LoadStoreTransfer(src, dst, size*4, 4, func() { record(src, tag<<8|3) })
+			})
+		}
+	}
+	final := g.RunUntilIdle()
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, v := range hashes {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	return final, g.EventsRun(), h.Sum64()
+}
+
+func TestShardedNetworkInvariance(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		t1, r1, h1 := nocShardTrace(t, 1, seed)
+		if r1 == 0 {
+			t.Fatalf("seed %d: no events ran", seed)
+		}
+		for _, k := range []int{2, 3, 8} {
+			tk, rk, hk := nocShardTrace(t, k, seed)
+			if tk != t1 || rk != r1 || hk != h1 {
+				t.Fatalf("seed %d shards=%d diverged: (%v %d %x) vs shards=1 (%v %d %x)",
+					seed, k, tk, rk, hk, t1, r1, h1)
+			}
+		}
+	}
+}
+
+// A sharded FlapLink must delay traffic identically at every shard count,
+// and the ownership discipline must accept posts to LinkOwnerLP.
+func TestShardedFlapLinkInvariance(t *testing.T) {
+	run := func(shards int) (sim.Time, uint64) {
+		tree := topo.NewTree(4, 4, 2)
+		cfg := noc.DefaultConfig(tree.MaxHops())
+		g := sim.NewGroup(1, noc.MinLookahead(cfg), sim.BlockPartition(tree.NumComputeNodes(), shards))
+		nets := noc.ShardNetworks(g, tree, cfg, nil, nil)
+		var deliveredAt sim.Time
+		srcLP := int32(tree.ComputeNodeOf(1))
+		// Flap the level-2 link over worker 17's subtree mid-flight; the
+		// flap is posted to the link's owner LP, as a fault injector would.
+		ownerLP := nets[0].LinkOwnerLP(17, 2)
+		g.At(srcLP, 50*sim.Nanosecond, func() {
+			e := nets[0].ForLP(srcLP).Engine()
+			e.Post(ownerLP, e.Now()+noc.MinLookahead(cfg), func() {
+				if !nets[0].ForLP(ownerLP).FlapLink(17, 2, 3*sim.Microsecond) {
+					t.Error("FlapLink reported no link")
+				}
+			})
+		})
+		g.At(srcLP, 60*sim.Nanosecond, func() {
+			n := nets[g.ShardOf(srcLP)]
+			n.Send(1, 17, 256, noc.Store, func() {
+				deliveredAt = nets[0].For(17).Engine().Now()
+			})
+		})
+		g.RunUntilIdle()
+		return deliveredAt, g.EventsRun()
+	}
+	at1, ev1 := run(1)
+	if at1 < 3*sim.Microsecond {
+		t.Fatalf("delivery at %v not delayed by flap", at1)
+	}
+	for _, k := range []int{2, 4} {
+		if atK, evK := run(k); atK != at1 || evK != ev1 {
+			t.Fatalf("shards=%d: delivery %v events %d, want %v %d", k, atK, evK, at1, ev1)
+		}
+	}
+}

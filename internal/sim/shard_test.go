@@ -1,0 +1,267 @@
+package sim_test
+
+// Tests for the conservative shard Group: shard-count invariance of the
+// (at, key, seq) schedule, lookahead enforcement, bounded-run semantics,
+// and the weak-scaling benchmark used by simbench's shard_scaling series.
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+
+	"ecoscale/internal/sim"
+)
+
+// lpWorld is the per-LP state of the randomized shard workload. Each LP
+// owns its rand stream, its FNV accumulator, and its cancel handles; the
+// shard discipline (only the owning LP's events touch them) is exactly
+// the contract machine components follow.
+type lpWorld struct {
+	lp      int32
+	eng     *sim.Engine
+	rng     *rand.Rand
+	hash    uint64
+	cancels []func() bool
+	spawned int
+	budget  int
+	peers   []*lpWorld
+}
+
+func (w *lpWorld) record(v uint64) {
+	for i := 0; i < 8; i++ {
+		w.hash ^= (v >> (8 * i)) & 0xff
+		w.hash *= 1099511628211
+	}
+}
+
+const shardWorkLook = 60 * sim.Nanosecond
+
+// step is one fired event on w's LP: record, fan out local children,
+// occasionally cancel a local handle or post to a peer LP.
+func (w *lpWorld) step(tag uint64) {
+	w.record(tag)
+	w.record(uint64(w.eng.Now()))
+	for c := w.rng.Intn(3); c > 0 && w.spawned < w.budget; c-- {
+		w.spawned++
+		child := uint64(w.spawned)
+		at := w.eng.Now() + sim.Time(w.rng.Intn(100))*sim.Nanosecond
+		id := w.eng.At(at, func() { w.step(child) })
+		eng := w.eng
+		w.cancels = append(w.cancels, func() bool { return eng.Cancel(id) })
+	}
+	if len(w.cancels) > 0 && w.rng.Intn(4) == 0 {
+		if w.cancels[w.rng.Intn(len(w.cancels))]() {
+			w.record(0xC0FFEE)
+		}
+	}
+	if w.spawned < w.budget && w.rng.Intn(4) == 0 {
+		w.spawned++
+		peer := w.peers[w.rng.Intn(len(w.peers))]
+		child := uint64(w.spawned)<<8 | uint64(w.lp)
+		at := w.eng.Now() + shardWorkLook + sim.Time(w.rng.Intn(100))*sim.Nanosecond
+		w.eng.Post(peer.lp, at, func() { peer.step(child) })
+	}
+}
+
+// shardWorkloadTrace runs the randomized cross-LP workload on a Group
+// with the given shard count and returns (final time, events run, merged
+// per-LP hash). Every quantity is a function of (nLPs, seed) only; the
+// test asserts it is independent of shards.
+func shardWorkloadTrace(shards int, seed int64) (sim.Time, uint64, uint64) {
+	const nLPs = 12
+	g := sim.NewGroup(seed, shardWorkLook, sim.BlockPartition(nLPs, shards))
+	worlds := make([]*lpWorld, nLPs)
+	for lp := int32(0); lp < nLPs; lp++ {
+		worlds[lp] = &lpWorld{
+			lp:     lp,
+			eng:    g.EngineFor(lp),
+			rng:    rand.New(rand.NewSource(seed ^ int64(lp)*7919)),
+			hash:   1469598103934665603,
+			budget: 300,
+		}
+	}
+	for _, w := range worlds {
+		w.peers = worlds
+	}
+	for lp := int32(0); lp < nLPs; lp++ {
+		w := worlds[lp]
+		for i := 0; i < 6; i++ {
+			w.spawned++
+			tag := uint64(w.spawned)
+			g.At(lp, sim.Time(w.rng.Intn(200))*sim.Nanosecond, func() { w.step(tag) })
+		}
+	}
+	// Bounded slices exercise window-loop restart and clock normalization
+	// before the final drain.
+	for _, d := range []sim.Time{2 * sim.Microsecond, 5 * sim.Microsecond, 9 * sim.Microsecond} {
+		g.Run(d)
+	}
+	g.RunUntilIdle()
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, w := range worlds {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(w.hash >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	return g.Shard(0).Now(), g.EventsRun(), h.Sum64()
+}
+
+// shardSeeds returns how many seeds the invariance sweeps run; the CI
+// determinism lane raises it via ECOSCALE_SHARD_SEEDS.
+func shardSeeds(def int) int {
+	if v := os.Getenv("ECOSCALE_SHARD_SEEDS"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			return n
+		}
+	}
+	return def
+}
+
+// TestKernelDeterminismShardInvariance is the shard-count extension of
+// the heapref determinism property: the same seeded workload must produce
+// an identical (final time, events, merged hash) trace at every shard
+// count, including shard counts that split the LP set unevenly.
+func TestKernelDeterminismShardInvariance(t *testing.T) {
+	seeds := shardSeeds(8)
+	for seed := int64(1); seed <= int64(seeds); seed++ {
+		t1, r1, h1 := shardWorkloadTrace(1, seed)
+		for _, k := range []int{2, 3, 4, 8} {
+			tk, rk, hk := shardWorkloadTrace(k, seed)
+			if tk != t1 || rk != r1 || hk != h1 {
+				t.Fatalf("seed %d: shards=%d diverged from shards=1: (%v %d %x) vs (%v %d %x)",
+					seed, k, tk, rk, hk, t1, r1, h1)
+			}
+		}
+	}
+}
+
+// The weak-scaling benchmark workload must itself be shard-invariant —
+// it is what the determinism CI lane and simbench both run.
+func TestWeakScalingShardInvariance(t *testing.T) {
+	base := sim.WeakScaling{
+		Shards: 1, CNs: 8, WorkersPerCN: 8, TasksPerWork: 20,
+		CrossPermil: 150, Seed: 42,
+	}
+	want := base.Run()
+	if want.Events == 0 || want.Checksum == 0 {
+		t.Fatalf("degenerate baseline: %+v", want)
+	}
+	for _, k := range []int{2, 4, 8} {
+		w := base
+		w.Shards = k
+		got := w.Run()
+		if got != want {
+			t.Fatalf("shards=%d: %+v, want %+v", k, got, want)
+		}
+	}
+}
+
+// Posting below the lookahead horizon during a run must panic — silently
+// accepting it would let a message arrive inside an already-open window
+// and break the conservative guarantee.
+func TestPostLookaheadViolationPanics(t *testing.T) {
+	for _, shards := range []int{1, 2} {
+		g := sim.NewGroup(1, shardWorkLook, sim.BlockPartition(4, shards))
+		e := g.EngineFor(0)
+		g.At(0, 100*sim.Nanosecond, func() {
+			e.Post(2, e.Now()+shardWorkLook-1, func() {})
+		})
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("shards=%d: lookahead violation did not panic", shards)
+				}
+				if s := fmt.Sprint(r); !strings.Contains(s, "lookahead") {
+					t.Fatalf("shards=%d: unexpected panic %q", shards, s)
+				}
+			}()
+			g.RunUntilIdle()
+		}()
+	}
+}
+
+// Setup-time posts (before Run) are exempt from the lookahead check and
+// must still be ordered by the sender's post sequence.
+func TestSetupPostsAllowed(t *testing.T) {
+	g := sim.NewGroup(1, shardWorkLook, sim.BlockPartition(2, 2))
+	var order []int
+	g.At(0, 0, func() {}) // establish curLP=0 on shard 0's engine
+	g.EngineFor(0).Post(1, 5*sim.Nanosecond, func() { order = append(order, 1) })
+	g.EngineFor(0).Post(1, 5*sim.Nanosecond, func() { order = append(order, 2) })
+	g.RunUntilIdle()
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("setup posts fired as %v, want [1 2]", order)
+	}
+}
+
+// Bounded Group runs must advance every shard clock to the deadline, so
+// back-to-back slices observe contiguous time like Engine.Run.
+func TestGroupBoundedRunClock(t *testing.T) {
+	for _, shards := range []int{1, 3} {
+		g := sim.NewGroup(7, shardWorkLook, sim.BlockPartition(6, shards))
+		fired := 0
+		g.At(5, 10*sim.Nanosecond, func() { fired++ })
+		g.At(0, 3*sim.Microsecond, func() { fired++ })
+		if end := g.Run(1 * sim.Microsecond); end != 1*sim.Microsecond {
+			t.Fatalf("shards=%d: Run(1us) = %v", shards, end)
+		}
+		if fired != 1 {
+			t.Fatalf("shards=%d: fired %d before deadline, want 1", shards, fired)
+		}
+		for i := 0; i < shards; i++ {
+			if now := g.Shard(i).Now(); now != 1*sim.Microsecond {
+				t.Fatalf("shards=%d: shard %d clock %v after bounded run", shards, i, now)
+			}
+		}
+		g.RunUntilIdle()
+		if fired != 2 {
+			t.Fatalf("shards=%d: fired %d total, want 2", shards, fired)
+		}
+	}
+}
+
+// A panic inside a shard's window must not deadlock the barrier: the
+// coordinator rethrows it with shard attribution.
+func TestShardPanicPropagates(t *testing.T) {
+	g := sim.NewGroup(1, shardWorkLook, sim.BlockPartition(4, 2))
+	g.At(3, 10*sim.Nanosecond, func() { panic("boom") })
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("shard panic was swallowed")
+		}
+		if s := fmt.Sprint(r); !strings.Contains(s, "boom") {
+			t.Fatalf("unexpected panic %q", s)
+		}
+	}()
+	g.RunUntilIdle()
+}
+
+// BenchmarkShardScaling is the weak-scaling series: per-shard work is
+// constant (CNs grow with shards), so events/sec relative to shards=1 is
+// the parallel speedup. simbench records the same workload in
+// BENCH_sim.json as the shard_scaling series.
+func BenchmarkShardScaling(b *testing.B) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			w := sim.WeakScaling{
+				Shards: shards, CNs: 4 * shards, WorkersPerCN: 32,
+				TasksPerWork: 50, CrossPermil: 100, Seed: 1,
+			}
+			b.ReportAllocs()
+			var events uint64
+			for i := 0; i < b.N; i++ {
+				res := w.Run()
+				events += res.Events
+			}
+			b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+		})
+	}
+}

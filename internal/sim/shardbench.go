@@ -1,0 +1,120 @@
+package sim
+
+// WeakScaling is the E2-style weak-scaling workload used by the shard
+// benchmarks (BenchmarkShardScaling, simbench's shard_scaling series) and
+// by the shard-count invariance tests. Each shard hosts CNsPerShard
+// logical processes ("Compute Nodes"); each CN serves WorkersPerCN
+// single-server task streams through a contended Resource, and a fraction
+// of completions notify a deterministic peer CN via Post — so the run
+// exercises local heap churn, the window barrier, and cross-shard message
+// merging in the same proportions as a machine-level run.
+//
+// The workload is fully LP-disciplined: each CN touches only its own
+// counters and its own LPRNG stream, which makes the result — and the
+// FNV-1a checksum over the per-CN completion counts — a function of
+// (CNs, WorkersPerCN, TasksPerWork, CrossPermil, Seed) alone, invariant
+// under Shards. For weak scaling, grow CNs proportionally to Shards:
+// events/sec at K shards over events/sec at 1 shard is then the parallel
+// speedup at constant per-shard work.
+type WeakScaling struct {
+	Shards       int
+	CNs          int // total Compute-Node LPs, partitioned over Shards
+	WorkersPerCN int
+	TasksPerWork int
+	CrossPermil  int // per-mille of completions that post to a peer CN
+	Seed         int64
+}
+
+// WeakScalingResult summarizes one WeakScaling run.
+type WeakScalingResult struct {
+	FinalTime Time
+	Events    uint64
+	Checksum  uint64 // FNV-1a over per-CN completion counts, CN order
+}
+
+type wsCN struct {
+	g       *Group
+	lp      int32
+	ncn     int32
+	cross   int
+	port    *Resource
+	done    uint64
+	posted  uint64
+	arrived uint64
+}
+
+type wsTask struct {
+	cn    *wsCN
+	peers []*wsCN
+}
+
+const (
+	wsPeriod   = 500 * Nanosecond
+	wsHold     = 180 * Nanosecond
+	wsLook     = 60 * Nanosecond // the default NoC L1 hop latency
+	wsCrossPad = 20 * Nanosecond
+)
+
+func wsServe(a any) {
+	t := a.(*wsTask)
+	t.cn.port.UseCall(wsHold, wsDone, t)
+}
+
+func wsDone(a any) {
+	t := a.(*wsTask)
+	cn := t.cn
+	cn.done++
+	// A deterministic slice of completions notifies a peer CN; the peer
+	// and the delivery jitter come from this CN's private stream. The
+	// peer's struct pointer is read from the immutable peers slice; its
+	// counters are only touched by the arrival event, which runs on the
+	// peer's own LP.
+	rng := cn.g.LPRNG(cn.lp)
+	if int(rng.Uint64()%1000) < cn.cross {
+		peer := rng.Uint64() % uint64(cn.ncn)
+		eng := cn.g.EngineFor(cn.lp)
+		at := eng.Now() + wsLook + Time(rng.Uint64()%uint64(wsCrossPad))
+		cn.posted++
+		eng.PostCall(int32(peer), at, wsArrive, t.peers[peer])
+	}
+}
+
+// wsArrive runs on the destination CN's LP and accounts the notification.
+func wsArrive(a any) {
+	a.(*wsCN).arrived++
+}
+
+// Run executes the workload and returns its deterministic result.
+func (w WeakScaling) Run() WeakScalingResult {
+	nCN := w.CNs
+	g := NewGroup(w.Seed, wsLook, BlockPartition(nCN, w.Shards))
+	cns := make([]*wsCN, nCN)
+	for lp := int32(0); lp < int32(nCN); lp++ {
+		cns[lp] = &wsCN{g: g, lp: lp, ncn: int32(nCN), cross: w.CrossPermil}
+		cns[lp].port = NewResource(g.EngineFor(lp), "cn.port", 4)
+	}
+	for lp := int32(0); lp < int32(nCN); lp++ {
+		cn := cns[lp]
+		rng := g.LPRNG(lp)
+		for wk := 0; wk < w.WorkersPerCN; wk++ {
+			for i := 0; i < w.TasksPerWork; i++ {
+				at := Time(i)*wsPeriod + Time(rng.Uint64()%uint64(wsPeriod))
+				g.AtCall(lp, at, wsServe, &wsTask{cn: cn, peers: cns})
+			}
+		}
+	}
+	final := g.RunUntilIdle()
+	h := uint64(1469598103934665603) // FNV-1a offset basis
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= (v >> (8 * i)) & 0xff
+			h *= 1099511628211
+		}
+	}
+	for _, cn := range cns {
+		mix(cn.done)
+		mix(cn.posted)
+		mix(cn.arrived)
+	}
+	return WeakScalingResult{FinalTime: final, Events: g.EventsRun(), Checksum: h}
+}

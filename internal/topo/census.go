@@ -1,30 +1,38 @@
 package topo
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // Census tracks which Workers of a Tree are live — have had per-worker
 // state materialized by some event — and aggregates liveness up the
 // hierarchy. It is the bookkeeping behind the flyweight machine model: a
 // quiescent subtree (a compute node, chassis, … with zero live workers)
 // stays a single summary record, and aggregate queries answer for it in
-// O(1) without waking anything. One byte per worker plus one counter per
-// group keeps the census itself cheap at 100k+ workers.
+// O(1) without waking anything. A few bytes per worker plus one counter
+// per group keeps the census itself cheap at 100k+ workers.
+//
+// All counters are atomic so a sharded machine, whose Workers
+// materialize concurrently on different shard goroutines, can share one
+// census. A worker's live flag is only ever set from the shard that owns
+// it; the aggregate counters take concurrent increments from all shards.
 type Census struct {
 	tree *Tree
-	live []bool
+	live []atomic.Bool
 	// counts[level][group] = live workers under the level-level unit
 	// `group`, for levels 1..Levels()-1 (level 0 is the worker itself,
 	// answered by the live slice).
-	counts [][]int
-	total  int
+	counts [][]atomic.Int64
+	total  atomic.Int64
 }
 
 // NewCensus returns an all-quiescent census over the tree.
 func NewCensus(t *Tree) *Census {
-	c := &Census{tree: t, live: make([]bool, t.NumWorkers())}
-	c.counts = make([][]int, t.Levels())
+	c := &Census{tree: t, live: make([]atomic.Bool, t.NumWorkers())}
+	c.counts = make([][]atomic.Int64, t.Levels())
 	for level := 1; level < t.Levels(); level++ {
-		c.counts[level] = make([]int, t.NumWorkers()/t.GroupSize(level))
+		c.counts[level] = make([]atomic.Int64, t.NumWorkers()/t.GroupSize(level))
 	}
 	return c
 }
@@ -33,13 +41,12 @@ func NewCensus(t *Tree) *Census {
 // count. It reports whether w was newly marked (false when already live).
 func (c *Census) MarkLive(w int) bool {
 	c.tree.checkWorker(w)
-	if c.live[w] {
+	if !c.live[w].CompareAndSwap(false, true) {
 		return false
 	}
-	c.live[w] = true
-	c.total++
+	c.total.Add(1)
 	for level := 1; level < c.tree.Levels(); level++ {
-		c.counts[level][c.tree.GroupOf(level, w)]++
+		c.counts[level][c.tree.GroupOf(level, w)].Add(1)
 	}
 	return true
 }
@@ -47,11 +54,11 @@ func (c *Census) MarkLive(w int) bool {
 // IsLive reports whether worker w has been marked live.
 func (c *Census) IsLive(w int) bool {
 	c.tree.checkWorker(w)
-	return c.live[w]
+	return c.live[w].Load()
 }
 
 // LiveWorkers returns how many workers are live machine-wide.
-func (c *Census) LiveWorkers() int { return c.total }
+func (c *Census) LiveWorkers() int { return int(c.total.Load()) }
 
 // LiveIn returns how many workers are live under the level-level unit
 // with index group.
@@ -59,7 +66,7 @@ func (c *Census) LiveIn(level, group int) int {
 	if level <= 0 || level >= c.tree.Levels() {
 		panic(fmt.Sprintf("topo: census level %d out of range (1..%d)", level, c.tree.Levels()-1))
 	}
-	return c.counts[level][group]
+	return int(c.counts[level][group].Load())
 }
 
 // Quiescent reports whether the level-level unit with index group has no

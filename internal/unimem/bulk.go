@@ -63,11 +63,12 @@ func (s *Space) StreamRead(node int, addr uint64, size, window int, done func(da
 	if window <= 0 {
 		window = 1
 	}
-	start := s.Engine().Now()
+	eng := s.engFor(node)
+	start := eng.Now()
 	spans := s.splitSpan(addr, size, mem.LineBytes)
 	buf := make([]byte, size)
-	wg := sim.NewWaitGroup(s.Engine(), len(spans))
-	inFlight := sim.NewResource(s.Engine(), "stream-read", window)
+	wg := sim.NewWaitGroup(eng, len(spans))
+	inFlight := sim.NewResource(eng, "stream-read", window)
 	base := addr
 	for _, sp := range spans {
 		sp := sp
@@ -90,13 +91,16 @@ func (s *Space) StreamRead(node int, addr uint64, size, window int, done func(da
 // observeStream records one completed stream as a DMA span and a
 // latency-histogram sample.
 func (s *Space) observeStream(node int, name string, start sim.Time, size int) {
-	now := s.Engine().Now()
-	s.Trace.Add(trace.Span{Name: name, Cat: trace.CatDMA,
-		Start: int64(start), End: int64(now),
-		PID: trace.WorkerPID(node), TID: trace.TIDDMA, Arg: int64(size)})
-	if s.reg != nil {
-		trace.LatencyHistogram(s.reg, "lat.dma_us").Observe((now - start).Micros())
-		s.reg.Counter("unimem.stream_bytes").Add(uint64(size))
+	now := s.engFor(node).Now()
+	if !s.net.Sharded() {
+		// The shared tracer is not shard-safe (see observeCoh).
+		s.Trace.Add(trace.Span{Name: name, Cat: trace.CatDMA,
+			Start: int64(start), End: int64(now),
+			PID: trace.WorkerPID(node), TID: trace.TIDDMA, Arg: int64(size)})
+	}
+	if r := s.regFor(node); r != nil {
+		trace.LatencyHistogram(r, "lat.dma_us").Observe((now - start).Micros())
+		r.Counter("unimem.stream_bytes").Add(uint64(size))
 	}
 }
 
@@ -112,10 +116,11 @@ func (s *Space) StreamWrite(node int, addr uint64, data []byte, window int, done
 	if window <= 0 {
 		window = 1
 	}
-	start := s.Engine().Now()
+	eng := s.engFor(node)
+	start := eng.Now()
 	spans := s.splitSpan(addr, len(data), mem.LineBytes)
-	wg := sim.NewWaitGroup(s.Engine(), len(spans))
-	inFlight := sim.NewResource(s.Engine(), "stream-write", window)
+	wg := sim.NewWaitGroup(eng, len(spans))
+	inFlight := sim.NewResource(eng, "stream-write", window)
 	base := addr
 	for _, sp := range spans {
 		sp := sp
@@ -128,6 +133,41 @@ func (s *Space) StreamWrite(node int, addr uint64, data []byte, window int, done
 	}
 	wg.Wait(func() {
 		s.observeStream(node, "stream-write", start, len(data))
+		if done != nil {
+			done()
+		}
+	})
+}
+
+// StreamWriteback is StreamWrite for an identity write-back: the same
+// pipelined store traffic, but the bytes are never read or copied — see
+// Space.WriteBack for why sharded machines require this.
+func (s *Space) StreamWriteback(node int, addr uint64, size, window int, done func()) {
+	if size <= 0 {
+		if done != nil {
+			done()
+		}
+		return
+	}
+	if window <= 0 {
+		window = 1
+	}
+	eng := s.engFor(node)
+	start := eng.Now()
+	spans := s.splitSpan(addr, size, mem.LineBytes)
+	wg := sim.NewWaitGroup(eng, len(spans))
+	inFlight := sim.NewResource(eng, "stream-write", window)
+	for _, sp := range spans {
+		sp := sp
+		inFlight.Acquire(func() {
+			s.WriteBack(node, sp.addr, sp.size, func() {
+				inFlight.Release()
+				wg.DoneOne()
+			})
+		})
+	}
+	wg.Wait(func() {
+		s.observeStream(node, "stream-write", start, size)
 		if done != nil {
 			done()
 		}

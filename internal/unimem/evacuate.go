@@ -20,7 +20,7 @@ import (
 func (s *Space) PagesOwnedBy(w int) []uint64 {
 	var out []uint64
 	for no, p := range s.pages {
-		if p.owner == w {
+		if p.Owner() == w {
 			out = append(out, no)
 		}
 	}
@@ -65,10 +65,13 @@ func (s *Space) EvacuateWorker(from, to int, done func(pages int, bytes int64)) 
 // DMA source may be a replica holder rather than the (possibly dead) old
 // owner, and a replica already in the destination's DRAM is promoted in
 // place — one local DRAM write, no wire traffic.
+// On a sharded machine, evacuatePage (and so EvacuateWorker) must run at
+// the dying worker's LP — the DMA source side; finish lands at the
+// destination's LP.
 func (s *Space) evacuatePage(pageNo uint64, to int, done func()) {
 	p := s.pages[pageNo]
 	addr := pageNo * uint64(s.cfg.PageBytes)
-	src := p.owner
+	src := p.Owner()
 	if s.reps != nil {
 		if r, ok := s.reps[pageNo]; ok && len(r.holders) > 0 {
 			if r.holders[to] {
@@ -83,11 +86,12 @@ func (s *Space) evacuatePage(pageNo uint64, to int, done func()) {
 			}
 		}
 	}
-	s.count("evacuations")
-	start := s.Engine().Now()
+	old := p.Owner()
+	s.countAt(old, "evacuations")
+	start := s.engFor(old).Now()
 	finish := func() {
-		p.owner = to
-		p.cacher = to
+		p.setOwner(to)
+		p.setCacher(to)
 		// The destination's DRAM copy subsumes any replica it held.
 		if s.reps != nil {
 			if r, ok := s.reps[pageNo]; ok {
@@ -96,18 +100,24 @@ func (s *Space) evacuatePage(pageNo uint64, to int, done func()) {
 		}
 		s.observeCoh(to, "evacuate", start, int64(s.cfg.PageBytes))
 		if done != nil {
-			done()
+			// The evacuation loop issues the next page's DMA from the
+			// dying worker's side: hand control back to its LP.
+			s.netFor(to).HopToWorker(old, done)
 		}
 	}
 	// Flush any live third-party cacher toward the old owner first, like
 	// MigratePage — the caching right must be whole before it moves.
-	s.SetCacher(addr, p.owner, func() {
+	s.SetCacher(addr, old, func() {
 		if src == to {
-			s.wm(to).dram.Access(s.cfg.PageBytes, finish)
+			s.netFor(old).HopToWorker(to, func() {
+				s.wm(to).dram.Access(s.cfg.PageBytes, finish)
+			})
 			return
 		}
-		s.net.DMATransfer(src, to, s.cfg.PageBytes, noc.DefaultDMAConfig(), func() {
-			s.wm(to).dram.Access(s.cfg.PageBytes, finish)
+		s.netFor(src).DMATransfer(src, to, s.cfg.PageBytes, noc.DefaultDMAConfig(), func() {
+			s.netFor(src).HopToWorker(to, func() {
+				s.wm(to).dram.Access(s.cfg.PageBytes, finish)
+			})
 		})
 	})
 }

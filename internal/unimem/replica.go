@@ -39,20 +39,25 @@ func (s *Space) replicaOf(pageNo uint64) *replicaState {
 // transfer), after which reads by w are local. Replicating at the owner
 // is a no-op. done fires when the copy is usable.
 func (s *Space) Replicate(addr uint64, w int, done func()) {
+	if s.net.Sharded() {
+		// Replicas put page bytes under multiple LPs; the sharded data
+		// plane keeps them owner-exclusive instead.
+		panic("unimem: page replication is not supported on a sharded machine")
+	}
 	p := s.pageOf(addr)
 	if w < 0 || w >= len(s.workers) {
 		panic(fmt.Sprintf("unimem: bad replica holder %d", w))
 	}
 	pageNo := addr / uint64(s.cfg.PageBytes)
 	r := s.replicaOf(pageNo)
-	if w == p.owner || r.holders[w] {
+	if w == p.Owner() || r.holders[w] {
 		if done != nil {
 			done()
 		}
 		return
 	}
-	s.count("replications")
-	s.net.DMATransfer(p.owner, w, s.cfg.PageBytes, noc.DefaultDMAConfig(), func() {
+	s.countAt(p.Owner(), "replications")
+	s.net.DMATransfer(p.Owner(), w, s.cfg.PageBytes, noc.DefaultDMAConfig(), func() {
 		s.wm(w).dram.Access(s.cfg.PageBytes, func() {
 			r.holders[w] = true
 			if done != nil {
@@ -81,17 +86,17 @@ func (s *Space) Replicas(addr uint64) int {
 func (s *Space) readSource(node int, addr uint64) int {
 	p := s.pageOf(addr)
 	if s.reps == nil {
-		return p.owner
+		return p.Owner()
 	}
 	r, ok := s.reps[addr/uint64(s.cfg.PageBytes)]
 	if !ok || len(r.holders) == 0 {
-		return p.owner
+		return p.Owner()
 	}
 	if r.holders[node] {
 		return node
 	}
-	best := p.owner
-	bestD := s.net.Topology().HopDistance(node, p.owner)
+	best := p.Owner()
+	bestD := s.net.Topology().HopDistance(node, p.Owner())
 	for _, h := range sortedHolders(r.holders) {
 		if d := s.net.Topology().HopDistance(node, h); d < bestD {
 			best, bestD = h, d
@@ -129,7 +134,7 @@ func (s *Space) dropReplicas(node int, addr uint64, done func()) {
 		return
 	}
 	holders := sortedHolders(r.holders)
-	s.count("replica_invalidations")
+	s.countAt(node, "replica_invalidations")
 	wg := sim.NewWaitGroup(s.Engine(), len(holders))
 	for _, h := range holders {
 		h := h
@@ -151,7 +156,7 @@ func (s *Space) ReplicatedRead(node int, addr uint64, size int, done func(data [
 	s.checkSpan(addr, size)
 	p := s.pageOf(addr)
 	src := s.readSource(node, addr)
-	if src == p.owner {
+	if src == p.Owner() {
 		s.Read(node, addr, size, done)
 		return
 	}
@@ -164,11 +169,11 @@ func (s *Space) ReplicatedRead(node int, addr uint64, size int, done func(data [
 		}
 	}
 	if src == node {
-		s.count("replica_local_reads")
+		s.countAt(node, "replica_local_reads")
 		s.wm(node).dram.Access(size, deliver)
 		return
 	}
-	s.count("replica_remote_reads")
+	s.countAt(node, "replica_remote_reads")
 	s.net.Send(node, src, s.cfg.CtrlBytes, noc.Load, func() {
 		s.wm(src).dram.Access(size, func() {
 			s.net.Send(src, node, size, noc.Load, deliver)

@@ -26,6 +26,7 @@ package unimem
 import (
 	"encoding/binary"
 	"fmt"
+	"sync/atomic"
 
 	"ecoscale/internal/mem"
 	"ecoscale/internal/noc"
@@ -55,10 +56,23 @@ func DefaultConfig() Config {
 	}
 }
 
+// page metadata is atomically accessed: on a sharded machine, ownership
+// flips at the new owner's LP (a migration landing) while other shards
+// read it to route requests. The page *bytes* need no synchronization —
+// only the current owner's LP touches them, and ownership hand-offs are
+// separated from both sides' accesses by more than the group lookahead,
+// so the window barrier orders them.
 type page struct {
-	owner  int
-	cacher int
+	owner  atomic.Int32
+	cacher atomic.Int32
 	data   []byte
+}
+
+func (p *page) Owner() int     { return int(p.owner.Load()) }
+func (p *page) Cacher() int    { return int(p.cacher.Load()) }
+func (p *page) setOwner(w int) { p.owner.Store(int32(w)) }
+func (p *page) setCacher(w int) {
+	p.cacher.Store(int32(w))
 }
 
 type workerMem struct {
@@ -108,13 +122,32 @@ func NewSpace(net *noc.Network, cfg Config, reg *trace.Registry) *Space {
 	return s
 }
 
+// netFor returns the interconnect instance to issue worker w's traffic
+// on: the space's single network on a legacy machine, w's shard instance
+// on a sharded one.
+func (s *Space) netFor(w int) *noc.Network { return s.net.For(w) }
+
+// engFor returns the engine worker w's events run on.
+func (s *Space) engFor(w int) *sim.Engine { return s.net.For(w).Engine() }
+
+// regFor returns the registry worker w's counters land in: per-shard when
+// sharded (report merging sums them), the space's own otherwise.
+func (s *Space) regFor(w int) *trace.Registry {
+	if s.net.Sharded() {
+		return s.net.For(w).Reg()
+	}
+	return s.reg
+}
+
 // wm materializes worker w's memory-side state on first touch. Creation
 // schedules no events and consumes no randomness, so when a worker is
-// first touched cannot affect simulated behaviour.
+// first touched cannot affect simulated behaviour. On a sharded machine
+// it must be called at w's LP (all callers are): the state lives on w's
+// shard engine.
 func (s *Space) wm(w int) *workerMem {
 	m := s.workers[w]
 	if m == nil {
-		eng := s.net.Engine()
+		eng := s.engFor(w)
 		m = &workerMem{
 			cache:  mem.NewCache(s.cfg.CacheCfg),
 			dram:   mem.NewDRAM(eng, s.cfg.DRAMCfg),
@@ -144,9 +177,11 @@ func (s *Space) Cache(w int) *mem.Cache { return s.wm(w).cache }
 // DRAM returns worker w's DRAM channel.
 func (s *Space) DRAM(w int) *mem.DRAM { return s.wm(w).dram }
 
-func (s *Space) count(name string) {
-	if s.reg != nil {
-		s.reg.Counter("unimem." + name).Inc()
+// countAt bumps a space counter attributed to worker w (whose shard
+// registry absorbs it on a sharded machine).
+func (s *Space) countAt(w int, name string) {
+	if r := s.regFor(w); r != nil {
+		r.Counter("unimem." + name).Inc()
 	}
 }
 
@@ -160,10 +195,18 @@ func (s *Space) Alloc(owner, size int) uint64 {
 	if size <= 0 {
 		panic("unimem: Alloc size must be positive")
 	}
+	if s.net.Running() {
+		// Sharded runs read the pages map from every shard without locks;
+		// it must be frozen before events fire.
+		panic("unimem: Alloc during a sharded run (allocate at setup)")
+	}
 	npages := (size + s.cfg.PageBytes - 1) / s.cfg.PageBytes
 	base := s.next * uint64(s.cfg.PageBytes)
 	for i := 0; i < npages; i++ {
-		s.pages[s.next] = &page{owner: owner, cacher: owner, data: make([]byte, s.cfg.PageBytes)}
+		p := &page{data: make([]byte, s.cfg.PageBytes)}
+		p.setOwner(owner)
+		p.setCacher(owner)
+		s.pages[s.next] = p
 		s.next++
 	}
 	return base
@@ -178,10 +221,10 @@ func (s *Space) pageOf(addr uint64) *page {
 }
 
 // OwnerOf returns the Worker whose DRAM holds the page containing addr.
-func (s *Space) OwnerOf(addr uint64) int { return s.pageOf(addr).owner }
+func (s *Space) OwnerOf(addr uint64) int { return s.pageOf(addr).Owner() }
 
 // CacherOf returns the single Worker allowed to cache the page.
-func (s *Space) CacherOf(addr uint64) int { return s.pageOf(addr).cacher }
+func (s *Space) CacherOf(addr uint64) int { return s.pageOf(addr).Cacher() }
 
 // checkSpan panics when [addr, addr+size) crosses a page boundary; the
 // bulk helpers split transfers so individual ops never do.
@@ -203,38 +246,44 @@ func (s *Space) SetCacher(addr uint64, node int, done func()) {
 	if node < 0 || node >= len(s.workers) {
 		panic(fmt.Sprintf("unimem: bad cacher %d", node))
 	}
-	if p.cacher == node {
+	if p.Cacher() == node {
 		if done != nil {
 			done()
 		}
 		return
 	}
-	old := p.cacher
+	if s.net.Sharded() {
+		// Sharded machines pin the caching right to the owner: a remote
+		// cacher would put the page bytes under two LPs at once.
+		panic("unimem: SetCacher to a non-owner is not supported on a sharded machine")
+	}
+	old := p.Cacher()
 	pageBase := addr / uint64(s.cfg.PageBytes) * uint64(s.cfg.PageBytes)
 	// An unmaterialized old cacher has an empty cache: nothing to flush.
 	dirty := 0
 	if om := s.workers[old]; om != nil {
 		_, dirty = om.cache.InvalidateRange(pageBase, s.cfg.PageBytes)
 	}
-	s.count("cacher_moves")
+	s.countAt(old, "cacher_moves")
 	finish := func() {
-		p.cacher = node
+		p.setCacher(node)
 		if done != nil {
 			done()
 		}
 	}
-	if dirty == 0 || old == p.owner {
+	if dirty == 0 || old == p.Owner() {
 		// Nothing to push over the wire (clean, or dirty lines already
 		// live in the owner's DRAM).
 		finish()
 		return
 	}
 	// Write the dirty lines back to the owner before handing off.
+	owner := p.Owner()
 	start := s.Engine().Now()
 	wg := sim.NewWaitGroup(s.Engine(), dirty)
 	for i := 0; i < dirty; i++ {
-		s.net.Send(old, p.owner, mem.LineBytes, noc.Store, func() {
-			s.wm(p.owner).dram.Access(mem.LineBytes, wg.DoneOne)
+		s.net.Send(old, owner, mem.LineBytes, noc.Store, func() {
+			s.wm(owner).dram.Access(mem.LineBytes, wg.DoneOne)
 		})
 	}
 	wg.Wait(func() {
@@ -248,12 +297,16 @@ func (s *Space) SetCacher(addr uint64, node int, done func()) {
 // latency-histogram sample — the UNIMEM/coherence category of the
 // profiler's critical-path attribution.
 func (s *Space) observeCoh(node int, name string, start sim.Time, bytes int64) {
-	now := s.Engine().Now()
-	s.Trace.Add(trace.Span{Name: name, Cat: trace.CatCoh,
-		Start: int64(start), End: int64(now),
-		PID: trace.WorkerPID(node), TID: trace.TIDDMA, Arg: bytes})
-	if s.reg != nil {
-		trace.LatencyHistogram(s.reg, "lat.coh_us").Observe((now - start).Micros())
+	now := s.engFor(node).Now()
+	if !s.net.Sharded() {
+		// The shared tracer is not shard-safe; sharded machines rely on
+		// the per-shard registries below instead.
+		s.Trace.Add(trace.Span{Name: name, Cat: trace.CatCoh,
+			Start: int64(start), End: int64(now),
+			PID: trace.WorkerPID(node), TID: trace.TIDDMA, Arg: bytes})
+	}
+	if r := s.regFor(node); r != nil {
+		trace.LatencyHistogram(r, "lat.coh_us").Observe((now - start).Micros())
 	}
 }
 
@@ -268,42 +321,60 @@ func (s *Space) observeCoh(node int, name string, start sim.Time, bytes int64) {
 func (s *Space) Read(node int, addr uint64, size int, done func(data []byte)) {
 	s.checkSpan(addr, size)
 	p := s.pageOf(addr)
+	owner := p.Owner()
+	off := addr % uint64(s.cfg.PageBytes)
+	if s.net.Sharded() && owner != node {
+		// Cross-LP load: the bytes are captured at the owner's LP — the
+		// only LP that touches page data — and travel in the response.
+		s.countAt(node, "remote_reads")
+		s.netFor(node).Send(node, owner, s.cfg.CtrlBytes, noc.Load, func() {
+			s.wm(owner).dram.Access(size, func() {
+				buf := make([]byte, size)
+				copy(buf, p.data[off:])
+				s.netFor(owner).Send(owner, node, size, noc.Load, func() {
+					if done != nil {
+						done(buf)
+					}
+				})
+			})
+		})
+		return
+	}
 	w := s.wm(node)
 	deliver := func() {
 		if done != nil {
-			off := addr % uint64(s.cfg.PageBytes)
 			buf := make([]byte, size)
 			copy(buf, p.data[off:])
 			done(buf)
 		}
 	}
 	switch {
-	case p.cacher == node:
+	case p.Cacher() == node:
 		res := w.cache.Access(addr, false)
 		s.handleEviction(node, p, res)
 		if res.Hit {
-			s.count("cache_hits")
-			s.Engine().After(s.cfg.CacheCfg.HitLatency, deliver)
+			s.countAt(node, "cache_hits")
+			s.engFor(node).After(s.cfg.CacheCfg.HitLatency, deliver)
 			return
 		}
-		s.count("cache_fills")
-		if p.owner == node {
+		s.countAt(node, "cache_fills")
+		if owner == node {
 			w.dram.Access(mem.LineBytes, deliver)
 			return
 		}
-		s.net.Send(node, p.owner, s.cfg.CtrlBytes, noc.Load, func() {
-			s.wm(p.owner).dram.Access(mem.LineBytes, func() {
-				s.net.Send(p.owner, node, mem.LineBytes, noc.Load, deliver)
+		s.net.Send(node, owner, s.cfg.CtrlBytes, noc.Load, func() {
+			s.wm(owner).dram.Access(mem.LineBytes, func() {
+				s.net.Send(owner, node, mem.LineBytes, noc.Load, deliver)
 			})
 		})
-	case p.owner == node:
-		s.count("local_uncached")
+	case owner == node:
+		s.countAt(node, "local_uncached")
 		w.dram.Access(size, deliver)
 	default:
-		s.count("remote_reads")
-		s.net.Send(node, p.owner, s.cfg.CtrlBytes, noc.Load, func() {
-			s.wm(p.owner).dram.Access(size, func() {
-				s.net.Send(p.owner, node, size, noc.Load, deliver)
+		s.countAt(node, "remote_reads")
+		s.net.Send(node, owner, s.cfg.CtrlBytes, noc.Load, func() {
+			s.wm(owner).dram.Access(size, func() {
+				s.net.Send(owner, node, size, noc.Load, deliver)
 			})
 		})
 	}
@@ -315,8 +386,27 @@ func (s *Space) Read(node int, addr uint64, size int, done func(data []byte)) {
 func (s *Space) Write(node int, addr uint64, data []byte, done func()) {
 	s.checkSpan(addr, len(data))
 	p := s.pageOf(addr)
-	w := s.wm(node)
+	owner := p.Owner()
 	off := addr % uint64(s.cfg.PageBytes)
+	if s.net.Sharded() && owner != node {
+		// Cross-LP store: the bytes travel with the request and are
+		// applied at the owner's LP (see the page doc above) instead of
+		// at issue time.
+		s.countAt(node, "remote_writes")
+		buf := append([]byte(nil), data...)
+		s.netFor(node).Send(node, owner, len(data)+s.cfg.CtrlBytes, noc.Store, func() {
+			copy(p.data[off:], buf)
+			s.wm(owner).dram.Access(len(buf), func() {
+				s.netFor(owner).Send(owner, node, s.cfg.CtrlBytes, noc.Store, func() {
+					if done != nil {
+						done()
+					}
+				})
+			})
+		})
+		return
+	}
+	w := s.wm(node)
 	copy(p.data[off:], data) // data plane: applied immediately (see package doc)
 	finish := func() {
 		if done != nil {
@@ -324,34 +414,94 @@ func (s *Space) Write(node int, addr uint64, data []byte, done func()) {
 		}
 	}
 	switch {
-	case p.cacher == node:
+	case p.Cacher() == node:
 		res := w.cache.Access(addr, true)
 		s.handleEviction(node, p, res)
 		if res.Hit {
-			s.count("cache_hits")
-			s.Engine().After(s.cfg.CacheCfg.HitLatency, finish)
+			s.countAt(node, "cache_hits")
+			s.engFor(node).After(s.cfg.CacheCfg.HitLatency, finish)
 			return
 		}
-		s.count("cache_fills")
-		if p.owner == node {
+		s.countAt(node, "cache_fills")
+		if owner == node {
 			w.dram.Access(mem.LineBytes, finish)
 			return
 		}
 		// Write-allocate: fetch the line, then dirty it locally.
-		s.net.Send(node, p.owner, s.cfg.CtrlBytes, noc.Load, func() {
-			s.wm(p.owner).dram.Access(mem.LineBytes, func() {
-				s.net.Send(p.owner, node, mem.LineBytes, noc.Load, finish)
+		s.net.Send(node, owner, s.cfg.CtrlBytes, noc.Load, func() {
+			s.wm(owner).dram.Access(mem.LineBytes, func() {
+				s.net.Send(owner, node, mem.LineBytes, noc.Load, finish)
 			})
 		})
-	case p.owner == node:
-		s.count("local_uncached")
+	case owner == node:
+		s.countAt(node, "local_uncached")
 		w.dram.Access(len(data), finish)
 	default:
-		s.count("remote_writes")
+		s.countAt(node, "remote_writes")
 		// Uncached remote store: posted write + ack.
-		s.net.Send(node, p.owner, len(data)+s.cfg.CtrlBytes, noc.Store, func() {
-			s.wm(p.owner).dram.Access(len(data), func() {
-				s.net.Send(p.owner, node, s.cfg.CtrlBytes, noc.Store, finish)
+		s.net.Send(node, owner, len(data)+s.cfg.CtrlBytes, noc.Store, func() {
+			s.wm(owner).dram.Access(len(data), func() {
+				s.net.Send(owner, node, s.cfg.CtrlBytes, noc.Store, finish)
+			})
+		})
+	}
+}
+
+// WriteBack performs the timed store path of Write for size bytes at
+// addr without touching the bytes. Accelerators stream their results out
+// as an identity write-back of the page-final data; on a sharded machine
+// those bytes may only be read at the owner's LP, so the traffic, cache
+// effects and counters are modeled here while the data plane stays put.
+func (s *Space) WriteBack(node int, addr uint64, size int, done func()) {
+	s.checkSpan(addr, size)
+	p := s.pageOf(addr)
+	owner := p.Owner()
+	if s.net.Sharded() && owner != node {
+		s.countAt(node, "remote_writes")
+		s.netFor(node).Send(node, owner, size+s.cfg.CtrlBytes, noc.Store, func() {
+			s.wm(owner).dram.Access(size, func() {
+				s.netFor(owner).Send(owner, node, s.cfg.CtrlBytes, noc.Store, func() {
+					if done != nil {
+						done()
+					}
+				})
+			})
+		})
+		return
+	}
+	w := s.wm(node)
+	finish := func() {
+		if done != nil {
+			done()
+		}
+	}
+	switch {
+	case p.Cacher() == node:
+		res := w.cache.Access(addr, true)
+		s.handleEviction(node, p, res)
+		if res.Hit {
+			s.countAt(node, "cache_hits")
+			s.engFor(node).After(s.cfg.CacheCfg.HitLatency, finish)
+			return
+		}
+		s.countAt(node, "cache_fills")
+		if owner == node {
+			w.dram.Access(mem.LineBytes, finish)
+			return
+		}
+		s.net.Send(node, owner, s.cfg.CtrlBytes, noc.Load, func() {
+			s.wm(owner).dram.Access(mem.LineBytes, func() {
+				s.net.Send(owner, node, mem.LineBytes, noc.Load, finish)
+			})
+		})
+	case owner == node:
+		s.countAt(node, "local_uncached")
+		w.dram.Access(size, finish)
+	default:
+		s.countAt(node, "remote_writes")
+		s.net.Send(node, owner, size+s.cfg.CtrlBytes, noc.Store, func() {
+			s.wm(owner).dram.Access(size, func() {
+				s.net.Send(owner, node, s.cfg.CtrlBytes, noc.Store, finish)
 			})
 		})
 	}
@@ -368,13 +518,14 @@ func (s *Space) handleEviction(node int, _ *page, res mem.AccessResult) {
 	if !ok {
 		return
 	}
-	s.count("writebacks")
-	if vp.owner == node {
+	s.countAt(node, "writebacks")
+	vo := vp.Owner()
+	if vo == node {
 		s.wm(node).dram.Access(mem.LineBytes, nil)
 		return
 	}
-	s.net.Send(node, vp.owner, mem.LineBytes, noc.Store, func() {
-		s.wm(vp.owner).dram.Access(mem.LineBytes, nil)
+	s.netFor(node).Send(node, vo, mem.LineBytes, noc.Store, func() {
+		s.wm(vo).dram.Access(mem.LineBytes, nil)
 	})
 }
 
@@ -432,7 +583,10 @@ func (s *Space) PokeWord(addr uint64, v uint64) {
 func (s *Space) AtomicRMW(node int, addr uint64, f func(old uint64) uint64, done func(old uint64)) {
 	s.checkSpan(addr, 8)
 	p := s.pageOf(addr)
-	owner := p.owner
+	owner := p.Owner()
+	// exec runs at the owner's LP in every mode: the word is read,
+	// transformed and written under the owner's atomic unit, so the data
+	// plane is already owner-side and needs no sharded variant.
 	exec := func() {
 		ow := s.wm(owner)
 		ow.atomic.Acquire(func() {
@@ -446,7 +600,7 @@ func (s *Space) AtomicRMW(node int, addr uint64, f func(old uint64) uint64, done
 					}
 					return
 				}
-				s.net.Send(owner, node, s.cfg.CtrlBytes, noc.Sync, func() {
+				s.netFor(owner).Send(owner, node, s.cfg.CtrlBytes, noc.Sync, func() {
 					if done != nil {
 						done(old)
 					}
@@ -454,20 +608,20 @@ func (s *Space) AtomicRMW(node int, addr uint64, f func(old uint64) uint64, done
 			})
 		})
 	}
-	s.count("atomics")
+	s.countAt(node, "atomics")
 	if node == owner {
 		exec()
 		return
 	}
-	s.net.Send(node, owner, s.cfg.CtrlBytes, noc.Sync, exec)
+	s.netFor(node).Send(node, owner, s.cfg.CtrlBytes, noc.Sync, exec)
 }
 
 // Notify sends a small interprocessor message to dst's mailbox (the
 // "messages to synchronize remote threads" of §4.1), raising the
 // mailbox as an interrupt-class transaction.
 func (s *Space) Notify(src, dst int, payload uint64, done func()) {
-	s.count("notifies")
-	s.net.Send(src, dst, s.cfg.CtrlBytes, noc.Interrupt, func() {
+	s.countAt(src, "notifies")
+	s.netFor(src).Send(src, dst, s.cfg.CtrlBytes, noc.Interrupt, func() {
 		s.wm(dst).mbox.Push(Message{From: src, Payload: payload})
 		if done != nil {
 			done()
@@ -485,30 +639,38 @@ func (s *Space) Mailbox(w int) *sim.FIFO[Message] { return s.wm(w).mbox }
 // "move tasks and processes close to data instead of moving data around"
 // machinery's inverse — data moves when the runtime decides locality is
 // better served that way.
+// On a sharded machine, MigratePage must be issued at the old owner's LP
+// (the interconnect's issuer discipline enforces this); done runs at the
+// new owner's LP, where the landing DRAM write and the ownership flip
+// execute.
 func (s *Space) MigratePage(addr uint64, newOwner int, done func()) {
 	p := s.pageOf(addr)
 	if newOwner < 0 || newOwner >= len(s.workers) {
 		panic(fmt.Sprintf("unimem: bad owner %d", newOwner))
 	}
-	if p.owner == newOwner {
+	if p.Owner() == newOwner {
 		if done != nil {
 			done()
 		}
 		return
 	}
-	s.count("migrations")
-	start := s.Engine().Now()
-	origOwner := p.owner
-	s.SetCacher(addr, p.owner, func() {
-		old := p.owner
-		s.net.DMATransfer(old, newOwner, s.cfg.PageBytes, noc.DefaultDMAConfig(), func() {
-			s.wm(newOwner).dram.Access(s.cfg.PageBytes, func() {
-				p.owner = newOwner
-				p.cacher = newOwner
-				s.observeCoh(origOwner, "migrate", start, int64(s.cfg.PageBytes))
-				if done != nil {
-					done()
-				}
+	origOwner := p.Owner()
+	s.countAt(origOwner, "migrations")
+	start := s.engFor(origOwner).Now()
+	s.SetCacher(addr, origOwner, func() {
+		old := p.Owner()
+		s.netFor(old).DMATransfer(old, newOwner, s.cfg.PageBytes, noc.DefaultDMAConfig(), func() {
+			// Sharded DMA completes at the source LP; hop to the new
+			// owner for the landing write and the flip.
+			s.netFor(old).HopToWorker(newOwner, func() {
+				s.wm(newOwner).dram.Access(s.cfg.PageBytes, func() {
+					p.setOwner(newOwner)
+					p.setCacher(newOwner)
+					s.observeCoh(origOwner, "migrate", start, int64(s.cfg.PageBytes))
+					if done != nil {
+						done()
+					}
+				})
 			})
 		})
 	})
