@@ -2,9 +2,9 @@
 
 GOFILES := $(shell find . -name '*.go' -not -path './.git/*')
 
-.PHONY: check fmt vet build test race lint bench bench-json bench-smoke experiments scale-smoke race-soak determinism
+.PHONY: check fmt vet build test race lint bench bench-json bench-smoke experiments scale-smoke race-soak determinism cache-smoke
 
-check: fmt vet lint build race experiments bench-smoke scale-smoke determinism
+check: fmt vet lint build race experiments bench-smoke scale-smoke determinism cache-smoke
 
 fmt:
 	@out=$$(gofmt -l $(GOFILES)); \
@@ -87,6 +87,17 @@ determinism:
 	cmp "$$tmp/shards-1.txt" "$$tmp/shards-2.txt" && \
 	cmp "$$tmp/shards-1.txt" "$$tmp/shards-8.txt" && \
 	echo "determinism: ecobench byte-identical at -shards 1/2/8"
+
+# Result-cache smoke: the same quick ecobench run twice against one
+# content-addressed cache directory must be byte-identical — the second
+# run is served from the store instead of simulating. CI's warm-cache
+# lane runs the full E-suite version with a speedup assertion.
+cache-smoke:
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	go run ./cmd/ecobench -quick -parallel 0 -cache -cache-dir "$$tmp/cas" > "$$tmp/cold.txt" || exit 1; \
+	go run ./cmd/ecobench -quick -parallel 0 -cache -cache-dir "$$tmp/cas" > "$$tmp/warm.txt" || exit 1; \
+	cmp "$$tmp/cold.txt" "$$tmp/warm.txt" && \
+	echo "cache-smoke: warm ecobench byte-identical to cold"
 
 # Longer -race pass: soak + determinism property sweeps with the race
 # detector on, for CI's slow lane.

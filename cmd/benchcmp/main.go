@@ -9,7 +9,9 @@
 // CPU count and architecture. Allocation counts per event are
 // deterministic properties of the code and are compared always, as are
 // the shard-scaling determinism checksums (when both runs executed the
-// same workload size).
+// same workload size) and the cache_warm hit/miss sanity check; the
+// cache_warm cold/warm speedup is wall-clock and follows the same
+// host-matching rule.
 //
 // -wall=false drops the time-based comparisons even on an equivalent
 // host: CI compares a -quick run against the full committed baseline, and
@@ -49,6 +51,14 @@ type shardEntry struct {
 	Checksum string  `json:"checksum"`
 }
 
+type cacheWarmEntry struct {
+	Procs   int     `json:"procs"`
+	Points  uint64  `json:"points"`
+	Hits    uint64  `json:"hits"`
+	Misses  uint64  `json:"misses"`
+	Speedup float64 `json:"speedup_cold_over_warm"`
+}
+
 type report struct {
 	Schema       string             `json:"schema"`
 	GoVersion    string             `json:"go_version"`
@@ -57,6 +67,7 @@ type report struct {
 	Kernel       []kernelEntry      `json:"kernel"`
 	Speedup      map[string]float64 `json:"speedup_events_per_sec"`
 	ShardScaling []shardEntry       `json:"shard_scaling"`
+	CacheWarm    *cacheWarmEntry    `json:"cache_warm"`
 }
 
 func load(path string) (*report, error) {
@@ -180,6 +191,24 @@ func main() {
 		}
 	} else if len(oldRep.ShardScaling) > 0 {
 		fail("shard_scaling series missing from new report")
+	}
+
+	// cache_warm: hit/miss behavior is deterministic for a given suite
+	// (every point misses cold, hits warm), so a warm run that still
+	// misses is a correctness regression and is checked on every host.
+	// The cold/warm speedup is wall-clock and follows the same
+	// host-matching rule as shard_scaling: compared only when wallOK and
+	// both runs had the same procs.
+	if oldRep.CacheWarm != nil && newRep.CacheWarm != nil {
+		o, n := oldRep.CacheWarm, newRep.CacheWarm
+		if n.Hits == 0 || n.Misses == 0 {
+			fail("cache_warm: degenerate run (hits=%d misses=%d) — cache not exercised", n.Hits, n.Misses)
+		}
+		if wallOK && o.Procs == n.Procs && o.Points == n.Points && n.Speedup < o.Speedup*(1-*tol) {
+			fail("cache_warm: speedup %.1fx -> %.1fx", o.Speedup, n.Speedup)
+		}
+	} else if oldRep.CacheWarm != nil {
+		fail("cache_warm series missing from new report")
 	}
 
 	if failures > 0 {

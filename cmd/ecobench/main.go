@@ -17,6 +17,14 @@
 //	                          # byte-identical at every -shards value
 //	ecobench -cpuprofile f    # write a CPU profile of the run to f
 //	ecobench -memprofile f    # write a heap profile (after the run) to f
+//	ecobench -cache           # memoize point results in a content-addressed
+//	                          # cache (~/.cache/ecoscale/cas); warm reruns are
+//	                          # byte-identical and skip simulation entirely
+//	ecobench -cache-dir d     # cache directory (implies -cache)
+//	ecobench -cache-readonly  # consult the cache but never write the disk tier
+//	ecobench -metrics         # dump the metrics registry (cache.* counters,
+//	                          # runner histograms) in Prometheus text format
+//	                          # on stderr after the run
 //	ecobench -csv             # CSV instead of aligned text
 //	ecobench -json            # machine-readable JSON instead of aligned text
 //	ecobench -list            # list experiments
@@ -32,11 +40,14 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
 	"time"
 
+	"ecoscale"
+	"ecoscale/internal/cas"
 	"ecoscale/internal/experiments"
 	"ecoscale/internal/runner"
 	"ecoscale/internal/trace"
@@ -118,6 +129,10 @@ func mainExit() int {
 	shards := flag.Int("shards", 0, "intra-machine shard count for sharding-aware scenarios (0 = single engine); tables are byte-identical at every value")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile (taken after the run) to this file")
+	cache := flag.Bool("cache", false, "memoize point results in the content-addressed cache")
+	cacheDir := flag.String("cache-dir", "", "cache directory (default ~/.cache/ecoscale/cas; implies -cache)")
+	cacheRO := flag.Bool("cache-readonly", false, "consult the cache but never write or delete disk entries (implies -cache)")
+	metricsOut := flag.Bool("metrics", false, "dump the metrics registry in Prometheus text format on stderr after the run")
 	flag.Parse()
 
 	if *cpuprofile != "" {
@@ -168,6 +183,24 @@ func mainExit() int {
 
 	metrics := trace.NewRegistry()
 	opts := runner.Options{Parallel: *parallel, PointTimeout: *timeout, Metrics: metrics}
+	if *cache || *cacheDir != "" || *cacheRO {
+		dir := *cacheDir
+		if dir == "" {
+			ucd, err := os.UserCacheDir()
+			if err != nil {
+				log.Printf("ecobench: -cache: no user cache dir (%v); use -cache-dir", err)
+				return 1
+			}
+			dir = filepath.Join(ucd, "ecoscale", "cas")
+		}
+		store, err := cas.Open(cas.Options{Dir: dir, ReadOnly: *cacheRO, Metrics: metrics})
+		if err != nil {
+			log.Printf("ecobench: -cache: %v", err)
+			return 1
+		}
+		opts.Cache = store
+		opts.CacheVersion = ecoscale.KernelVersion
+	}
 	if *progress {
 		opts.Progress = func(ev runner.Event) {
 			switch ev.Kind {
@@ -220,6 +253,17 @@ func mainExit() int {
 		failed := metrics.CounterTotal(runner.MetricPointsFailed)
 		fmt.Fprintf(os.Stderr, "runner: %d points completed, %d failed in %s (parallel=%d)\n",
 			completed, failed, time.Since(start).Round(time.Millisecond), *parallel)
+		if opts.Cache != nil {
+			fmt.Fprintf(os.Stderr, "cache: %d hits, %d misses, %d deduplicated, %d corrupt\n",
+				metrics.CounterTotal(cas.MetricHits), metrics.CounterTotal(cas.MetricMisses),
+				metrics.CounterTotal(cas.MetricDedup), metrics.CounterTotal(cas.MetricCorrupt))
+		}
+	}
+	if *metricsOut {
+		if err := metrics.WritePrometheus(os.Stderr); err != nil {
+			log.Print(err)
+			return 1
+		}
 	}
 	if len(failures) > 0 {
 		fmt.Fprintf(os.Stderr, "%d of %d experiments failed: %s\n",

@@ -1,0 +1,11 @@
+package core
+
+// KernelVersion stamps every result-cache key with the simulation
+// kernel's generation (internal/cas folds it into the content hash).
+// Bump the counter whenever a change can alter any table cell — model
+// constants, event ordering, cell rendering, experiment workloads — so
+// every cache entry written by the previous kernel misses instead of
+// resurfacing stale results. This is the cache's only invalidation
+// mechanism for code changes: compile-time constants are deliberately
+// not hashed into keys individually.
+const KernelVersion = "ecoscale-kernel/1"

@@ -1,0 +1,100 @@
+package experiments
+
+// Property test for the content-addressed result cache: over a seeded
+// random sample of scenarios, a warm-cache run must render
+// byte-identically to both the cold run that populated the cache and an
+// uncached baseline — including when the warm run changes -parallel and
+// -shards (the cache key deliberately excludes the shard count because
+// tables are shard-invariant; this test is what keeps that claim
+// honest at the table level).
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"ecoscale/internal/cas"
+	"ecoscale/internal/runner"
+	"ecoscale/internal/trace"
+)
+
+func TestWarmCacheByteIdentical(t *testing.T) {
+	defer func(old int) { Shards = old }(Shards)
+
+	// Seeded sample: three random scenarios plus the two adversarial
+	// ones — E2 honors the Shards knob (so its warm run at -shards 2 is
+	// served by entries written at -shards 1), and R1 carries an
+	// explicit point Key.
+	reg := Registry()
+	rng := rand.New(rand.NewSource(20260808))
+	rng.Shuffle(len(reg), func(i, j int) { reg[i], reg[j] = reg[j], reg[i] })
+	sample := map[string]bool{"E2": true, "R1": true}
+	for _, s := range reg {
+		if len(sample) >= 5 {
+			break
+		}
+		sample[s.ID] = true
+	}
+
+	for id := range sample {
+		t.Run(id, func(t *testing.T) {
+			s, err := ByID(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctx := context.Background()
+
+			Shards = 1
+			plain, err := runner.Run(ctx, s, runner.Options{Parallel: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			mreg := trace.NewRegistry()
+			store, err := cas.Open(cas.Options{Dir: t.TempDir(), Metrics: mreg})
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts := runner.Options{Parallel: 4, Cache: store, CacheVersion: "prop/1"}
+			cold, err := runner.Run(ctx, s, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			misses := mreg.CounterTotal(cas.MetricMisses)
+			if misses == 0 {
+				t.Fatalf("%s: cold run recorded no cache misses — store not consulted?", id)
+			}
+
+			warm, err := runner.Run(ctx, s, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			Shards = 2
+			warmSharded, err := runner.Run(ctx, s, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if got := mreg.CounterTotal(cas.MetricMisses); got != misses {
+				t.Errorf("%s: warm runs missed the cache (%d misses after cold's %d)", id, got, misses)
+			}
+			if mreg.CounterTotal(cas.MetricHits) == 0 {
+				t.Errorf("%s: warm runs recorded no cache hits", id)
+			}
+
+			if cold.String() != plain.String() {
+				t.Errorf("%s: cold cached table differs from uncached baseline:\n--- uncached\n%s\n--- cold\n%s", id, plain, cold)
+			}
+			if warm.String() != plain.String() {
+				t.Errorf("%s: warm table differs from uncached baseline:\n--- uncached\n%s\n--- warm\n%s", id, plain, warm)
+			}
+			if warmSharded.String() != plain.String() {
+				t.Errorf("%s: warm table at -shards 2 differs:\n--- uncached\n%s\n--- warm sharded\n%s", id, plain, warmSharded)
+			}
+			if warm.CSV() != plain.CSV() {
+				t.Errorf("%s: warm CSV differs from uncached baseline", id)
+			}
+		})
+	}
+}

@@ -22,8 +22,8 @@ import (
 // sweepResult carries one (parameter, latency) measurement for the A1
 // and A5 sweeps whose speedup column derives against the first point.
 type sweepResult struct {
-	x int
-	t sim.Time
+	X int
+	T sim.Time
 }
 
 // scenA1 ablates the in-flight window of UNIMEM streams: the
@@ -48,17 +48,17 @@ func scenA1() runner.Scenario {
 						var lat sim.Time
 						space.StreamRead(0, addr, 65536, window, func([]byte) { lat = eng.Now() })
 						eng.RunUntilIdle()
-						return runner.V(sweepResult{x: window, t: lat}), nil
+						return runner.V(sweepResult{X: window, T: lat}), nil
 					},
 				})
 			}
 			return pts, nil
 		},
 		Finalize: func(tbl *trace.Table, rows []runner.Row) error {
-			base := rows[0].Value.(sweepResult).t
+			base := rows[0].Value.(sweepResult).T
 			for _, r := range rows {
 				v := r.Value.(sweepResult)
-				tbl.AddRow(v.x, fmt.Sprint(v.t), fmt.Sprintf("%.2fx", float64(base)/float64(v.t)))
+				tbl.AddRow(v.X, fmt.Sprint(v.T), fmt.Sprintf("%.2fx", float64(base)/float64(v.T)))
 			}
 			return nil
 		},
@@ -233,17 +233,17 @@ func scenA5() runner.Scenario {
 						if done != 7 {
 							return runner.Row{}, fmt.Errorf("A5: %d of 7 streams completed", done)
 						}
-						return runner.V(sweepResult{x: capacity, t: end}), nil
+						return runner.V(sweepResult{X: capacity, T: end}), nil
 					},
 				})
 			}
 			return pts, nil
 		},
 		Finalize: func(tbl *trace.Table, rows []runner.Row) error {
-			base := rows[0].Value.(sweepResult).t
+			base := rows[0].Value.(sweepResult).T
 			for _, r := range rows {
 				v := r.Value.(sweepResult)
-				tbl.AddRow(v.x, fmt.Sprint(v.t), fmt.Sprintf("%.2fx", float64(base)/float64(v.t)))
+				tbl.AddRow(v.X, fmt.Sprint(v.T), fmt.Sprintf("%.2fx", float64(base)/float64(v.T)))
 			}
 			return nil
 		},

@@ -65,10 +65,12 @@ func scenE1() runner.Scenario {
 
 // e2Result carries one weak-scaling point's raw measurement; the
 // efficiency column is derived against the first point in Finalize.
+// Fields are exported (here and in every sibling result struct) so the
+// result cache can gob-encode them; see registerCacheValues.
 type e2Result struct {
-	workers, total int
-	end            sim.Time
-	thr            float64
+	Workers, Total int
+	End            sim.Time
+	Thr            float64
 }
 
 // scenE2 is the weak-scaling sweep behind §2's demand for 1000x
@@ -133,7 +135,7 @@ func scenE2() runner.Scenario {
 							return runner.Row{}, fmt.Errorf("E2: lost tasks: %d of %d", finished, total)
 						}
 						thr := float64(total) / end.Micros()
-						return runner.V(e2Result{workers: workers, total: total, end: end, thr: thr}), nil
+						return runner.V(e2Result{Workers: workers, Total: total, End: end, Thr: thr}), nil
 					},
 				})
 			}
@@ -144,10 +146,10 @@ func scenE2() runner.Scenario {
 			for _, r := range rows {
 				v := r.Value.(e2Result)
 				if base == 0 {
-					base = v.thr / float64(v.workers)
+					base = v.Thr / float64(v.Workers)
 				}
-				eff := v.thr / float64(v.workers) / base
-				tbl.AddRow(v.workers, v.total, fmt.Sprint(v.end), fmt.Sprintf("%.1f", v.thr), fmt.Sprintf("%.3f", eff))
+				eff := v.Thr / float64(v.Workers) / base
+				tbl.AddRow(v.Workers, v.Total, fmt.Sprint(v.End), fmt.Sprintf("%.1f", v.Thr), fmt.Sprintf("%.3f", eff))
 			}
 			return nil
 		},
@@ -260,9 +262,9 @@ func measureTransfer(size int, dma bool) sim.Time {
 // e5Result carries one stream's location and latency; the "vs local"
 // ratio is derived against the first (owner-local) point in Finalize.
 type e5Result struct {
-	name string
-	hops int
-	lat  sim.Time
+	Name string
+	Hops int
+	Lat  sim.Time
 }
 
 // scenE5 measures the Fig. 4 NUMA effect: an accelerator streaming data
@@ -303,18 +305,18 @@ func scenE5() runner.Scenario {
 						if done != 2 {
 							return runner.Row{}, fmt.Errorf("E5: stream lost")
 						}
-						return runner.V(e5Result{name: tc.name, hops: tree.HopDistance(0, tc.owner), lat: lat}), nil
+						return runner.V(e5Result{Name: tc.name, Hops: tree.HopDistance(0, tc.owner), Lat: lat}), nil
 					},
 				})
 			}
 			return pts, nil
 		},
 		Finalize: func(tbl *trace.Table, rows []runner.Row) error {
-			local := rows[0].Value.(e5Result).lat
+			local := rows[0].Value.(e5Result).Lat
 			for _, r := range rows {
 				v := r.Value.(e5Result)
-				tbl.AddRow(v.name, v.hops, fmt.Sprint(v.lat),
-					fmt.Sprintf("%.1fx", float64(v.lat)/float64(local)))
+				tbl.AddRow(v.Name, v.Hops, fmt.Sprint(v.Lat),
+					fmt.Sprintf("%.1fx", float64(v.Lat)/float64(local)))
 			}
 			return nil
 		},

@@ -34,10 +34,10 @@ func rTask() *rts.Task {
 // r1Result carries one fault rate's raw measurement; slowdown is
 // derived against the fault-free first row in Finalize.
 type r1Result struct {
-	mtbf  string
-	kills int
-	moved uint64
-	end   sim.Time
+	MTBF  string
+	Kills int
+	Moved uint64
+	End   sim.Time
 }
 
 // scenR1 sweeps the Worker death rate and measures makespan
@@ -65,6 +65,10 @@ func scenR1() runner.Scenario {
 				}
 				pts = append(pts, runner.Point{
 					Label: "mtbf=" + label,
+					// Quick trims the stream to 160 tasks without touching the
+					// label, so the cache key must carry total explicitly or a
+					// quick run could poison a full run's cache (and vice versa).
+					Key: fmt.Sprintf("mtbf=%s/total=%d", label, total),
 					Run: func(context.Context) (runner.Row, error) {
 						m := ecoscale.New(ecoscale.DefaultConfig(4, 4))
 						completed := 0
@@ -92,19 +96,19 @@ func scenR1() runner.Scenario {
 						moved := m.Reg.CounterTotal("fault.tasks_evacuated") +
 							m.Reg.CounterTotal("fault.tasks_rerouted") +
 							m.Reg.CounterTotal("fault.tasks_requeued")
-						return runner.V(r1Result{mtbf: label, kills: m.DeadWorkers(),
-							moved: moved, end: lastDone}), nil
+						return runner.V(r1Result{MTBF: label, Kills: m.DeadWorkers(),
+							Moved: moved, End: lastDone}), nil
 					},
 				})
 			}
 			return pts, nil
 		},
 		Finalize: func(tbl *trace.Table, rows []runner.Row) error {
-			baseline := rows[0].Value.(r1Result).end
+			baseline := rows[0].Value.(r1Result).End
 			for _, r := range rows {
 				v := r.Value.(r1Result)
-				tbl.AddRow(v.mtbf, v.kills, v.moved, fmt.Sprint(v.end),
-					fmt.Sprintf("%.2fx", float64(v.end)/float64(baseline)))
+				tbl.AddRow(v.MTBF, v.Kills, v.Moved, fmt.Sprint(v.End),
+					fmt.Sprintf("%.2fx", float64(v.End)/float64(baseline)))
 			}
 			return nil
 		},
@@ -113,10 +117,10 @@ func scenR1() runner.Scenario {
 
 // r2Result carries one checkpoint interval's measurement.
 type r2Result struct {
-	interval    string
-	checkpoints uint64
-	restores    uint64
-	end         sim.Time
+	Interval    string
+	Checkpoints uint64
+	Restores    uint64
+	End         sim.Time
 }
 
 // scenR2 sweeps the checkpoint interval under a fixed pair of Worker
@@ -175,21 +179,21 @@ func scenR2() runner.Scenario {
 						if completed != total {
 							return runner.Row{}, fmt.Errorf("R2: completed %d of %d tasks", completed, total)
 						}
-						return runner.V(r2Result{interval: label,
-							checkpoints: m.Reg.CounterTotal("fault.checkpoints"),
-							restores:    m.Reg.CounterTotal("fault.restores"),
-							end:         lastDone}), nil
+						return runner.V(r2Result{Interval: label,
+							Checkpoints: m.Reg.CounterTotal("fault.checkpoints"),
+							Restores:    m.Reg.CounterTotal("fault.restores"),
+							End:         lastDone}), nil
 					},
 				})
 			}
 			return pts, nil
 		},
 		Finalize: func(tbl *trace.Table, rows []runner.Row) error {
-			baseline := rows[0].Value.(r2Result).end
+			baseline := rows[0].Value.(r2Result).End
 			for _, r := range rows {
 				v := r.Value.(r2Result)
-				tbl.AddRow(v.interval, v.checkpoints, v.restores, fmt.Sprint(v.end),
-					fmt.Sprintf("%.2fx", float64(v.end)/float64(baseline)))
+				tbl.AddRow(v.Interval, v.Checkpoints, v.Restores, fmt.Sprint(v.End),
+					fmt.Sprintf("%.2fx", float64(v.End)/float64(baseline)))
 			}
 			return nil
 		},

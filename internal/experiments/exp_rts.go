@@ -20,9 +20,9 @@ import (
 // e10Result carries one policy's raw measurement; the "vs always-sw"
 // column is derived against the first (always-sw) point in Finalize.
 type e10Result struct {
-	policy  string
-	end     sim.Time
-	cpu, hw uint64
+	Policy  string
+	End     sim.Time
+	CPU, HW uint64
 }
 
 // scenE10 compares the dispatch policies of §4.2 on a mixed-size
@@ -83,19 +83,19 @@ func scenE10() runner.Scenario {
 						if s.Executed(rts.DeviceCPU)+s.Executed(rts.DeviceHW) != uint64(len(sizes)) {
 							return runner.Row{}, fmt.Errorf("E10: tasks lost under %s", policy.Name())
 						}
-						return runner.V(e10Result{policy: policy.Name(), end: end,
-							cpu: s.Executed(rts.DeviceCPU), hw: s.Executed(rts.DeviceHW)}), nil
+						return runner.V(e10Result{Policy: policy.Name(), End: end,
+							CPU: s.Executed(rts.DeviceCPU), HW: s.Executed(rts.DeviceHW)}), nil
 					},
 				})
 			}
 			return pts, nil
 		},
 		Finalize: func(tbl *trace.Table, rows []runner.Row) error {
-			baseline := rows[0].Value.(e10Result).end
+			baseline := rows[0].Value.(e10Result).End
 			for _, r := range rows {
 				v := r.Value.(e10Result)
-				tbl.AddRow(v.policy, fmt.Sprint(v.end), v.cpu, v.hw,
-					fmt.Sprintf("%.2fx", float64(baseline)/float64(v.end)))
+				tbl.AddRow(v.Policy, fmt.Sprint(v.End), v.CPU, v.HW,
+					fmt.Sprintf("%.2fx", float64(baseline)/float64(v.End)))
 			}
 			return nil
 		},

@@ -1,0 +1,142 @@
+package runner
+
+// The result cache. A Point is a pure function of (scenario id, point
+// parameters, seed, kernel version), so its Row can be memoized in a
+// content-addressed store (internal/cas) and reused across runs,
+// overlapping sweeps and concurrent duplicate submissions.
+//
+// The contract that makes cached output trustworthy is byte-identity:
+// a warm table must match a cold one exactly. Two mechanisms enforce
+// it. First, rows are persisted with their cells already rendered
+// through trace.RenderCell — the exact function trace.Table.AddRow
+// uses — so re-adding a decoded cell cannot re-render differently.
+// Second, the cold path round-trips too: on a miss the runner encodes
+// the fresh row, then decodes and uses that, so any lossiness in the
+// codec would corrupt the first run as visibly as the hundredth
+// instead of hiding until a warm run.
+//
+// Finalize values ride along via gob. A concrete Value type must be
+// registered with RegisterCacheValue (experiments do this in init) and
+// carry exported fields; an unregistered type fails the point loudly
+// rather than caching a truncated result.
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"ecoscale/internal/cas"
+	"ecoscale/internal/trace"
+)
+
+// RegisterCacheValue registers a concrete Row.Value type with the row
+// codec. Call it from an init function in the package that defines the
+// type, once per type, before any cached run.
+func RegisterCacheValue(v any) { gob.Register(v) }
+
+// rowWire is the persisted form of a Row: cells pre-rendered to their
+// final table strings, shares and the Finalize value exact.
+type rowWire struct {
+	Cells  [][]string
+	Shares []NamedShare
+	Value  any
+}
+
+// EncodeRow serializes a Row for the result cache.
+func EncodeRow(r Row) ([]byte, error) {
+	w := rowWire{Shares: r.Shares, Value: r.Value}
+	w.Cells = make([][]string, len(r.Cells))
+	for i, cells := range r.Cells {
+		rendered := make([]string, len(cells))
+		for j, c := range cells {
+			rendered[j] = trace.RenderCell(c)
+		}
+		w.Cells[i] = rendered
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&w); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeRow reverses EncodeRow. Cells come back as their rendered
+// strings, which trace.Table.AddRow passes through verbatim.
+func DecodeRow(b []byte) (Row, error) {
+	var w rowWire
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&w); err != nil {
+		return Row{}, err
+	}
+	r := Row{Shares: w.Shares, Value: w.Value}
+	r.Cells = make([][]any, len(w.Cells))
+	for i, rendered := range w.Cells {
+		cells := make([]any, len(rendered))
+		for j, c := range rendered {
+			cells[j] = c
+		}
+		r.Cells[i] = cells
+	}
+	return r, nil
+}
+
+// cacheKey composes the content address of one point: the scenario
+// id, the point's canonical parameter encoding (Key, defaulting to
+// Label for Cacheable scenarios), its seed, and the kernel version
+// the caller stamped into Options.
+func cacheKey(s *Scenario, p *Point, version string) cas.Key {
+	params := p.Key
+	if params == "" {
+		params = p.Label
+	}
+	return cas.Key{Scenario: s.ID, Params: params, Seed: p.Seed, Version: version}
+}
+
+// runCached executes one point through the cache: a hit decodes the
+// stored row, a miss computes, stores and round-trips it, and
+// concurrent identical points share a single computation. Decode
+// failures on cached payloads (a poisoned or stale entry that slipped
+// past the store's checksums) discard the entry and recompute.
+func runCached(store *cas.Store, key cas.Key, execute func() (Row, error)) (Row, error) {
+	compute := func() ([]byte, error) {
+		r, err := execute()
+		if err != nil {
+			return nil, err
+		}
+		b, err := EncodeRow(r)
+		if err != nil {
+			return nil, fmt.Errorf("encoding row for cache (is the Value type registered with runner.RegisterCacheValue?): %w", err)
+		}
+		return b, nil
+	}
+	payload, hit, err := store.Do(key, compute)
+	if err != nil {
+		return Row{}, err
+	}
+	row, derr := DecodeRow(payload)
+	if derr == nil {
+		return row, nil
+	}
+	if !hit {
+		// Our own fresh encoding failed to decode: a codec bug, not a
+		// storage problem. Surface it.
+		return Row{}, fmt.Errorf("cache: round-tripping fresh row: %w", derr)
+	}
+	store.Discard(key)
+	payload, err = compute()
+	if err != nil {
+		return Row{}, err
+	}
+	store.Put(key, payload)
+	row, derr = DecodeRow(payload)
+	if derr != nil {
+		return Row{}, fmt.Errorf("cache: round-tripping recomputed row: %w", derr)
+	}
+	return row, nil
+}
+
+// cacheablePoint reports whether the point participates in the result
+// cache: either it carries an explicit Key, or its scenario declares
+// every Label a complete canonical parameter encoding.
+func (s *Scenario) cacheablePoint(p *Point) bool {
+	return p.Key != "" || s.Cacheable
+}
